@@ -1,0 +1,116 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+- mining backend: Apriori vs FP-Growth (same results, different cost);
+- candidate-threshold cap in tree discretization;
+- including hierarchy roots in the mined universe (pure overhead).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core.discretize import TreeDiscretizer
+from repro.core.explorer import DivExplorer
+from repro.core.hexplorer import HDivExplorer
+from repro.core.mining.generalized import generalized_universe
+from repro.core.mining.transactions import mine
+from repro.experiments import render_table
+
+
+def test_backend_ablation(benchmark, emit, compas_ctx):
+    """Apriori and FP-Growth agree on results; compare their cost."""
+    ctx = compas_ctx
+
+    def run():
+        rows = []
+        results = {}
+        for backend in ("fpgrowth", "apriori"):
+            explorer = HDivExplorer(
+                min_support=0.05, tree_support=0.1, backend=backend
+            )
+            res = explorer.explore(ctx.features, ctx.outcomes)
+            results[backend] = res
+            rows.append(
+                (backend, len(res), round(res.max_divergence(), 3),
+                 round(res.elapsed_seconds, 3))
+            )
+        return rows, results
+
+    rows, results = run_once(benchmark, run)
+    emit(
+        "ablation_backends",
+        render_table(
+            ("backend", "itemsets", "max|d|", "time(s)"), rows,
+            "Ablation: mining backend (compas, s=0.05, st=0.1)",
+        ),
+    )
+    fp = {(r.itemset, r.count) for r in results["fpgrowth"]}
+    ap = {(r.itemset, r.count) for r in results["apriori"]}
+    assert fp == ap, "backends must return identical frequent itemsets"
+
+
+def test_split_candidate_cap(benchmark, emit, peak_ctx):
+    """More candidate thresholds barely move the found divergence."""
+    ctx = peak_ctx
+
+    def run():
+        rows = []
+        for cap in (4, 16, 64, 256):
+            explorer = HDivExplorer(
+                min_support=0.05, tree_support=0.1, max_candidates=cap
+            )
+            res = explorer.explore(ctx.features, ctx.outcomes)
+            rows.append((cap, round(res.max_divergence(), 3)))
+        return rows
+
+    rows = run_once(benchmark, run)
+    emit(
+        "ablation_candidates",
+        render_table(
+            ("max_candidates", "max|d|"), rows,
+            "Ablation: candidate-threshold cap (synthetic-peak)",
+        ),
+    )
+    divergences = [d for _cap, d in rows]
+    # A tiny cap can be crude, but from 16 up the result is stable.
+    assert max(divergences[1:]) - min(divergences[1:]) <= 0.25 * max(
+        divergences[1:]
+    )
+
+
+def test_root_items_are_overhead(benchmark, emit, compas_ctx):
+    """Mining with hierarchy roots included: same max |Δ|, more work."""
+    ctx = compas_ctx
+    discretizer = TreeDiscretizer(0.1, criterion="divergence")
+    gamma = discretizer.hierarchy_set(ctx.features, ctx.outcomes)
+
+    def run():
+        out = {}
+        for include_roots in (False, True):
+            extra = (
+                [h.root for h in gamma] if include_roots else []
+            )
+            universe = generalized_universe(
+                ctx.features, ctx.outcomes, gamma, extra_items=extra
+            )
+            mined = mine(universe, 0.05)
+            global_mean = universe.global_stats().mean
+            best = max(
+                (abs(m.stats.mean - global_mean) for m in mined),
+                default=0.0,
+            )
+            out[include_roots] = (len(mined), best)
+        return out
+
+    out = run_once(benchmark, run)
+    emit(
+        "ablation_roots",
+        render_table(
+            ("roots included", "itemsets", "max|d|"),
+            [(k, v[0], round(v[1], 3)) for k, v in out.items()],
+            "Ablation: hierarchy roots in the mined universe (compas)",
+        ),
+    )
+    assert out[True][0] > out[False][0], "roots inflate the lattice"
+    assert abs(out[True][1] - out[False][1]) < 1e-9, (
+        "roots cannot change the max divergence"
+    )

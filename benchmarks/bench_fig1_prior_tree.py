@@ -1,0 +1,17 @@
+"""Figure 1 — the #prior item hierarchy on compas FPR."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure1
+
+
+def test_figure1(benchmark, emit, compas_ctx):
+    rendered = run_once(benchmark, figure1, compas_ctx)
+    emit("fig1_prior_tree", "Figure 1: #prior discretization tree\n" + rendered)
+    lines = rendered.splitlines()
+    # The tree has a root plus at least two levels of refinement, and
+    # the paper's split points (>3, >8) emerge from the divergence gain.
+    assert lines[0].startswith("#prior=*")
+    assert len(lines) >= 5
+    assert any("#prior>3" in ln or "#prior=(3" in ln for ln in lines)
+    assert any("#prior>8" in ln or "#prior=(8" in ln for ln in lines)

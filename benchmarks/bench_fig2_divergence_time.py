@@ -1,0 +1,32 @@
+"""Figure 2 — max divergence (a) and execution time (b), base vs hier."""
+
+from conftest import run_once
+
+from repro.experiments import render_table
+from repro.experiments.figures import FIGURE2_DATASETS, figure2
+
+
+def test_figure2(benchmark, emit, sweep_contexts):
+    headers, rows = run_once(
+        benchmark, figure2, contexts=sweep_contexts
+    )
+    emit(
+        "fig2_divergence_time",
+        render_table(
+            headers, rows,
+            "Figure 2: max |divergence| and time, base vs hierarchical "
+            "(st=0.1, divergence criterion)",
+        ),
+    )
+    # (a) Hierarchical always finds at least the base divergence.
+    for name, s, base_d, hier_d, _tb, _th in rows:
+        assert hier_d >= base_d - 1e-9, f"{name} s={s}"
+    # On a majority of (dataset, support) cells the hierarchy strictly
+    # wins, as in the paper's Figure 2a.
+    strict = sum(1 for r in rows if r[3] > r[2] + 1e-9)
+    assert strict >= len(rows) // 2
+    # (b) Hierarchical exploration costs more time overall.
+    total_base = sum(r[4] for r in rows)
+    total_hier = sum(r[5] for r in rows)
+    assert total_hier > total_base
+    assert {r[0] for r in rows} == set(FIGURE2_DATASETS)

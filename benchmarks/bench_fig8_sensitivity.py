@@ -1,0 +1,35 @@
+"""Figure 8 — sensitivity of max divergence to the tree support st."""
+
+from conftest import run_once
+
+from repro.experiments import render_table
+from repro.experiments.figures import figure8
+
+
+def test_figure8(benchmark, emit, compas_ctx, peak_ctx):
+    headers, rows = run_once(
+        benchmark, figure8,
+        contexts={"compas": compas_ctx, "synthetic-peak": peak_ctx},
+    )
+    emit(
+        "fig8_sensitivity",
+        render_table(
+            headers, rows,
+            "Figure 8: max |divergence| vs tree support st (s=0.025)",
+        ),
+    )
+    for name in ("synthetic-peak", "compas"):
+        series = [(st, b, h) for d, st, b, h in rows if d == name]
+        # Hierarchical >= base at every st.
+        for st, base_d, hier_d in series:
+            assert hier_d >= base_d - 1e-9, f"{name} st={st}"
+        # Stability: over the paper's stable range (st <= 0.1) the
+        # hierarchical max divergence varies far less (relatively) than
+        # the base one.
+        hier_stable = [h for st, _b, h in series if st <= 0.1]
+        base_stable = [b for st, b, _h in series if st <= 0.1]
+        hier_spread = (max(hier_stable) - min(hier_stable)) / max(hier_stable)
+        base_spread = (max(base_stable) - min(base_stable)) / max(
+            max(base_stable), 1e-9
+        )
+        assert hier_spread <= base_spread + 0.15, name

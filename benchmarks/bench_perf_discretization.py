@@ -1,0 +1,23 @@
+"""§VI-F — discretization time is negligible next to exploration."""
+
+from conftest import run_once
+
+from repro.experiments import render_table
+from repro.experiments.figures import performance_discretization
+
+
+def test_discretization_cost(benchmark, emit, sweep_contexts):
+    headers, rows = run_once(
+        benchmark, performance_discretization, contexts=sweep_contexts
+    )
+    emit(
+        "perf_discretization",
+        render_table(
+            headers, rows,
+            "Section VI-F: discretization vs exploration time "
+            "(st=0.1, s=0.05)",
+        ),
+    )
+    for name, disc, explore in rows:
+        assert disc < explore, f"{name}: discretization should be cheaper"
+        assert disc < 10.0, f"{name}: discretization should take seconds"

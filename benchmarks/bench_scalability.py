@@ -1,0 +1,48 @@
+"""Extension bench — scaling of H-DivExplorer with dataset size.
+
+Characterizes how exploration time grows with rows at fixed support
+thresholds (the item count is size-invariant here, so growth should be
+roughly linear in rows — mask operations dominate).
+"""
+
+from conftest import run_once
+
+from repro.core.hexplorer import HDivExplorer
+from repro.datasets import synthetic_peak
+from repro.experiments import render_table
+
+SIZES = (2_500, 5_000, 10_000, 20_000)
+
+
+def test_scaling_with_rows(benchmark, emit):
+    def run():
+        rows = []
+        for n in SIZES:
+            ds = synthetic_peak(n_rows=n)
+            outcomes = ds.outcome().values(ds.table)
+            explorer = HDivExplorer(min_support=0.05, tree_support=0.1)
+            result = explorer.explore(ds.features(), outcomes)
+            rows.append(
+                (
+                    n,
+                    len(result),
+                    round(explorer.last_discretization_seconds_, 3),
+                    round(result.elapsed_seconds, 3),
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    emit(
+        "ext_scalability",
+        render_table(
+            ("rows", "itemsets", "discretize(s)", "explore(s)"), rows,
+            "Extension: H-DivExplorer scaling with dataset size "
+            "(synthetic-peak, s=0.05, st=0.1)",
+        ),
+    )
+    # Growth should be far below quadratic: an 8x size increase should
+    # cost well under 64x time (allowing noise on small absolute times).
+    t_small = max(rows[0][3], 1e-3)
+    t_large = rows[-1][3]
+    assert t_large / t_small < (SIZES[-1] / SIZES[0]) ** 2

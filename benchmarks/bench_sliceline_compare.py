@@ -1,0 +1,25 @@
+"""§VI-G — SliceLine's base exploration vs DivExplorer / H-DivExplorer."""
+
+from conftest import run_once
+
+from repro.experiments import render_table
+from repro.experiments.figures import sliceline_comparison
+
+
+def test_sliceline(benchmark, emit, peak_ctx):
+    headers, rows = run_once(benchmark, sliceline_comparison, ctx=peak_ctx)
+    emit(
+        "sliceline_compare",
+        render_table(
+            headers, rows,
+            "Section VI-G: SliceLine (best over alpha) vs base and "
+            "hierarchical exploration (synthetic-peak)",
+        ),
+    )
+    # SliceLine shares the base exploration's limitation: its best
+    # slice error divergence does not exceed the base max, while the
+    # hierarchical search exceeds both.
+    for s, _slice, sliceline_d, base_d, hier_d in rows:
+        assert sliceline_d <= base_d + 1e-6, f"s={s}"
+        assert hier_d >= base_d - 1e-9, f"s={s}"
+    assert any(r[4] > r[3] + 1e-9 for r in rows)

@@ -1,0 +1,20 @@
+"""Table I — impact of #prior discretization on compas FPR subgroups."""
+
+from conftest import run_once
+
+from repro.experiments import render_table
+from repro.experiments.figures import table1
+
+
+def test_table1(benchmark, emit, compas_ctx):
+    headers, rows = run_once(benchmark, table1, compas_ctx)
+    emit(
+        "table1_compas_slices",
+        render_table(headers, rows, "Table I: compas FPR by subgroup"),
+    )
+    by_label = {row[0]: row for row in rows}
+    # Paper shape: the whole dataset has FPR ~0.09; the >8-priors
+    # subgroup diverges far more than the >3-priors one.
+    assert abs(by_label["Entire dataset"][1] - 0.088) < 0.02
+    assert by_label["#prior>8"][2] > by_label["#prior>3"][2] > 0.05
+    assert by_label["age<27, #prior>3"][2] > by_label["age<27"][2]

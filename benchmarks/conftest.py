@@ -1,0 +1,59 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench regenerates one paper artifact (table or figure), times the
+computation via pytest-benchmark (single round — these are experiment
+reproductions, not microbenchmarks), and writes the rendered output to
+``benchmark_results/<name>.txt`` as well as stdout.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import load_context
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmark_results"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Write a rendered artifact to stdout and benchmark_results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def compas_ctx():
+    return load_context("compas")
+
+
+@pytest.fixture(scope="session")
+def peak_ctx():
+    return load_context("synthetic-peak")
+
+
+@pytest.fixture(scope="session")
+def folktables_ctx():
+    return load_context("folktables")
+
+
+@pytest.fixture(scope="session")
+def sweep_contexts(compas_ctx, peak_ctx):
+    """Contexts for the multi-dataset sweeps (Figures 2, 3b, 4)."""
+    contexts = {"compas": compas_ctx, "synthetic-peak": peak_ctx}
+    for name in ("adult", "bank", "german", "intentions", "wine"):
+        contexts[name] = load_context(name)
+    return contexts
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

@@ -1,0 +1,58 @@
+"""Fairness audit: false-positive-rate divergence on compas-like data.
+
+Reproduces the paper's motivating scenario (Section I): a recidivism
+screening tool whose false-positive rate — the rate at which defendants
+who will NOT reoffend are flagged as high risk — varies sharply across
+subgroups. The audit compares three discretization strategies and
+prints the Welch-t significance of each finding.
+
+Run:  python examples/fairness_audit.py
+"""
+
+from repro import DivExplorer, HDivExplorer
+from repro.datasets import compas, compas_manual_items
+
+
+def main() -> None:
+    ds = compas()
+    outcome = ds.outcome()
+    features = ds.features()
+    values = outcome.values(ds.table)
+
+    import numpy as np
+
+    print(f"{ds.name}: {ds.table.n_rows} defendants")
+    print(f"overall false-positive rate: {np.nanmean(values):.3f}\n")
+
+    support = 0.025
+
+    manual = DivExplorer(min_support=support).explore(
+        features, values, continuous_items=compas_manual_items()
+    )
+    print(f"[manual discretization of prior work]  (s={support})")
+    for r in manual.top_k(3, by="divergence", min_t=2.0):
+        print(f"  {r}")
+
+    hier = HDivExplorer(min_support=support, tree_support=0.1)
+    result = hier.explore(features, values)
+    print("\n[H-DivExplorer: divergence-aware tree hierarchies]")
+    for r in result.top_k(5, by="divergence", min_t=2.0):
+        print(f"  {r}")
+
+    print("\nhierarchy discovered for '#prior' (number of prior offenses):")
+    print(hier.last_hierarchies_["#prior"].render())
+
+    best_m = manual.top_k(1, by="divergence")[0]
+    best_h = result.top_k(1, by="divergence")[0]
+    print(
+        f"\nmanual discretization tops out at dFPR={best_m.divergence:+.3f}; "
+        f"hierarchical exploration reaches dFPR={best_h.divergence:+.3f}"
+    )
+    print(
+        "subgroups this far above the base rate are flagged for review: "
+        "they are where the screening tool most over-predicts risk."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Income analysis with categorical hierarchies (folktables-like data).
+
+Shows the other half of the hierarchy story: *predefined* hierarchies
+on categorical attributes. Occupations roll up into supercategories
+(MGR-Financial → MGR) and birthplaces into a geography (NA/US/CA → US →
+NA). Individual occupation codes are too rare to pass the support
+threshold, but their supercategory is not — so only the generalized
+exploration can report, e.g., that older male managers out-earn the
+dataset by a wide margin.
+
+The outcome here is numeric (income itself), so only the
+divergence-based tree criterion applies.
+
+Run:  python examples/income_analysis.py
+"""
+
+import numpy as np
+
+from repro import DivExplorer, HDivExplorer
+from repro.core.discretize import TreeDiscretizer
+from repro.datasets import folktables
+
+
+def main() -> None:
+    ds = folktables(n_rows=30_000)
+    features = ds.features()
+    income = ds.outcome().values(ds.table)
+    print(f"{ds.name}: {ds.table.n_rows} workers")
+    print(f"mean income: ${np.nanmean(income):,.0f}\n")
+
+    print("occupation taxonomy (predefined hierarchy):")
+    print(ds.hierarchies["OCCP"].render())
+    print()
+
+    support = 0.05
+
+    hier = HDivExplorer(
+        min_support=support, tree_support=0.1, criterion="divergence"
+    )
+    result = hier.explore(features, income, hierarchies=ds.hierarchies)
+    print(f"[H-DivExplorer]  top income-divergent subgroups (s={support}):")
+    for r in result.top_k(5, by="divergence"):
+        print(
+            f"  {r.itemset!s}  sup={r.support:.3f}  "
+            f"d=+${r.divergence:,.0f}  t={r.t:.1f}"
+        )
+
+    # Base exploration: leaf occupations only.
+    trees = TreeDiscretizer(0.1, criterion="divergence").fit_all(
+        features, income
+    )
+    leaves = {a: t.leaf_items() for a, t in trees.items()}
+    base = DivExplorer(min_support=support).explore(
+        features, income, continuous_items=leaves
+    )
+    print("\n[base DivExplorer]  top subgroups:")
+    for r in base.top_k(3, by="divergence"):
+        print(
+            f"  {r.itemset!s}  sup={r.support:.3f}  d=+${r.divergence:,.0f}"
+        )
+
+    hier_best = result.top_k(1, by="divergence")[0]
+    base_best = base.top_k(1, by="divergence")[0]
+    print(
+        f"\ngeneralized exploration reaches +${hier_best.divergence:,.0f} "
+        f"vs +${base_best.divergence:,.0f} for the base — the difference "
+        "is the occupation supercategory, invisible to flat items."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Model debugging: locate an injected error peak (synthetic-peak).
+
+Trains nothing — the dataset ships a prediction column whose error rate
+peaks around the point (0, 1, 2) in a 3-D feature space. The exercise
+is to *find* that region automatically, comparing:
+
+- base exploration on fixed leaf items,
+- hierarchical exploration (H-DivExplorer),
+- the Slice Finder and SliceLine baselines.
+
+Run:  python examples/model_debugging.py
+"""
+
+import numpy as np
+
+from repro import DivExplorer, HDivExplorer
+from repro.baselines import SliceFinder, SliceLine
+from repro.core.discretize import TreeDiscretizer
+from repro.datasets import synthetic_peak
+
+
+def main() -> None:
+    ds = synthetic_peak()
+    features = ds.features()
+    errors = ds.outcome().values(ds.table)
+    print(f"{ds.name}: {ds.table.n_rows} points, "
+          f"overall error rate {np.nanmean(errors):.4f}")
+    print("true anomaly centre: a=0, b=1, c=2\n")
+
+    support = 0.05
+
+    # Shared tree discretization (st = 0.1).
+    trees = TreeDiscretizer(0.1).fit_all(features, errors)
+    leaves = {a: t.leaf_items() for a, t in trees.items()}
+    leaf_items = [it for items in leaves.values() for it in items]
+
+    base = DivExplorer(min_support=support).explore(
+        features, errors, continuous_items=leaves
+    )
+    print(f"[base DivExplorer]        best: {base.top_k(1)[0]}")
+
+    hier = HDivExplorer(min_support=support, tree_support=0.1).explore(
+        features, errors
+    )
+    print(f"[H-DivExplorer]           best: {hier.top_k(1)[0]}")
+
+    sf = SliceFinder(effect_size_threshold=0.4, k=3)
+    slices = sf.find(features, errors, leaf_items)
+    if slices:
+        s = slices[0]
+        print(
+            f"[Slice Finder]            best: {s.itemset}  "
+            f"phi={s.effect_size:.2f}  sup={s.support:.4f}"
+        )
+
+    sl = SliceLine(alpha=0.95, k=3, min_support=support)
+    found = sl.find(features, errors, leaf_items)
+    if found:
+        s = found[0]
+        print(
+            f"[SliceLine]               best: {s.itemset}  "
+            f"score={s.score:.2f}  sup={s.support:.3f}"
+        )
+
+    best = hier.top_k(1)[0]
+    print(
+        f"\nonly the hierarchical search pins all three coordinates at "
+        f"support >= {support}: {best.itemset}"
+    )
+    print(
+        f"its error rate is {best.mean:.3f}, "
+        f"{best.divergence / np.nanmean(errors):.0f}x the dataset average."
+    )
+
+
+if __name__ == "__main__":
+    main()

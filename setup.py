@@ -1,0 +1,10 @@
+"""Setup shim so editable installs work offline (no wheel package).
+
+Configuration lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517 --no-build-isolation`` on
+environments without the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""repro — H-DivExplorer: hierarchical anomalous subgroup discovery.
+
+Reproduction of Pastor, Baralis & de Alfaro, "A Hierarchical Approach
+to Anomalous Subgroup Discovery" (ICDE 2023), built from scratch on
+numpy. See DESIGN.md for the system inventory and EXPERIMENTS.md for
+the paper-vs-measured comparison.
+
+Quickstart
+----------
+>>> from repro import HDivExplorer
+>>> from repro.datasets import synthetic_peak
+>>> ds = synthetic_peak()
+>>> explorer = HDivExplorer(min_support=0.05, tree_support=0.1)
+>>> result = explorer.explore(ds.table, ds.outcome())
+>>> best = result.top_k(1)[0]
+"""
+
+from repro.core import (
+    CategoricalItem,
+    DivExplorer,
+    HDivExplorer,
+    HierarchySet,
+    IntervalItem,
+    Item,
+    ItemHierarchy,
+    Itemset,
+    Outcome,
+    ResultSet,
+    SubgroupResult,
+    accuracy_outcome,
+    error_difference,
+    error_rate,
+    false_negative_rate,
+    false_positive_rate,
+    negative_predictive_value,
+    numeric_outcome,
+    precision_outcome,
+    true_negative_rate,
+    true_positive_rate,
+)
+from repro.core.discretize import TreeDiscretizer
+from repro.tabular import Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CategoricalItem",
+    "DivExplorer",
+    "HDivExplorer",
+    "HierarchySet",
+    "IntervalItem",
+    "Item",
+    "ItemHierarchy",
+    "Itemset",
+    "Outcome",
+    "ResultSet",
+    "SubgroupResult",
+    "Table",
+    "TreeDiscretizer",
+    "accuracy_outcome",
+    "error_difference",
+    "error_rate",
+    "false_negative_rate",
+    "false_positive_rate",
+    "negative_predictive_value",
+    "numeric_outcome",
+    "precision_outcome",
+    "true_negative_rate",
+    "true_positive_rate",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Prior-work baselines: Slice Finder and SliceLine (§VI-G).
+
+Both perform non-hierarchical ("base") lattice searches over fixed flat
+items. They are implemented from their published descriptions and used
+in the comparison experiments of Section VI-G / Figure 6.
+"""
+
+from repro.baselines.errortree import ErrorTree, ErrorTreeResult
+from repro.baselines.slicefinder import SliceFinder, SliceFinderResult
+from repro.baselines.sliceline import SliceLine, SliceLineResult
+
+__all__ = [
+    "ErrorTree",
+    "ErrorTreeResult",
+    "SliceFinder",
+    "SliceFinderResult",
+    "SliceLine",
+    "SliceLineResult",
+]

@@ -1,0 +1,96 @@
+"""Error-tree baseline (tree-based subgroup identification).
+
+Prior work identifies problematic subgroups by fitting a single tree to
+the per-instance loss and reading off high-loss leaves (Slice Finder's
+decision-tree variant; the Error Analysis dashboard of the Responsible
+AI Toolbox). The paper contrasts this with lattice search: tree leaves
+are *non-overlapping*, so each instance belongs to exactly one reported
+subgroup, and granularity per attribute is uncontrolled.
+
+This wraps :class:`repro.core.discretize.CombinedTreeDiscretizer` into
+that baseline: fit the combined tree on the loss, rank the leaves by
+loss divergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.discretize.combined import CombinedTreeDiscretizer
+from repro.core.items import Itemset
+from repro.core.outcomes import Outcome
+from repro.tabular import Table
+
+
+@dataclass(frozen=True)
+class ErrorTreeResult:
+    """A leaf subgroup of the error tree."""
+
+    itemset: Itemset
+    support: float
+    size: int
+    mean_loss: float
+    divergence: float
+
+
+class ErrorTree:
+    """Tree-based subgroup finder over continuous attributes.
+
+    Parameters
+    ----------
+    min_support:
+        Minimum fraction of instances per leaf.
+    max_depth:
+        Optional depth cap.
+    criterion:
+        Split gain, as in the discretizers.
+    """
+
+    def __init__(
+        self,
+        min_support: float = 0.05,
+        max_depth: int | None = None,
+        criterion: str = "divergence",
+    ):
+        self._discretizer = CombinedTreeDiscretizer(
+            min_support=min_support,
+            criterion=criterion,
+            max_depth=max_depth,
+        )
+
+    def find(
+        self,
+        table: Table,
+        outcome: Outcome | np.ndarray,
+        attributes: list[str] | None = None,
+        k: int = 10,
+    ) -> list[ErrorTreeResult]:
+        """Fit the tree and return the top-k divergent leaves.
+
+        Leaves are ranked by |divergence| of the loss. The returned
+        subgroups are non-overlapping by construction.
+        """
+        if isinstance(outcome, Outcome):
+            outcomes = outcome.values(table)
+        else:
+            outcomes = np.asarray(outcome, dtype=np.float64)
+        global_mean = float(np.nanmean(outcomes))
+        root = self._discretizer.fit(table, outcomes, attributes)
+        results = []
+        for node in root.walk():
+            if not node.is_leaf:
+                continue
+            mean = node.stats.mean
+            results.append(
+                ErrorTreeResult(
+                    itemset=node.itemset(),
+                    support=node.stats.count / table.n_rows,
+                    size=node.stats.count,
+                    mean_loss=mean,
+                    divergence=mean - global_mean,
+                )
+            )
+        results.sort(key=lambda r: -abs(r.divergence))
+        return results[:k]

@@ -1,0 +1,257 @@
+"""Command-line interface.
+
+Usage examples::
+
+    # list bundled dataset generators
+    python -m repro.cli datasets
+
+    # write a generated dataset to CSV
+    python -m repro.cli generate compas --out compas.csv
+
+    # hierarchical exploration of a CSV with an error outcome
+    python -m repro.cli explore data.csv --kind error \\
+        --y-true label --y-pred pred --support 0.05 --top 10
+
+    # show the discretization hierarchy of one attribute
+    python -m repro.cli discretize data.csv --attribute age \\
+        --kind error --y-true label --y-pred pred
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.discretize import TreeDiscretizer
+from repro.core.explorer import DivExplorer
+from repro.core.hexplorer import HDivExplorer
+from repro.core.outcomes import (
+    Outcome,
+    accuracy_outcome,
+    error_rate,
+    false_negative_rate,
+    false_positive_rate,
+    numeric_outcome,
+)
+from repro.tabular import Table, read_csv
+
+
+def _build_outcome(args) -> Outcome:
+    kind = args.kind
+    if kind == "numeric":
+        if not args.column:
+            raise SystemExit("--column is required for --kind numeric")
+        return numeric_outcome(args.column)
+    if not args.y_true or not args.y_pred:
+        raise SystemExit(f"--y-true and --y-pred are required for --kind {kind}")
+    factory = {
+        "error": error_rate,
+        "accuracy": accuracy_outcome,
+        "fpr": lambda t, p: false_positive_rate(t, p, args.positive),
+        "fnr": lambda t, p: false_negative_rate(t, p, args.positive),
+    }[kind]
+    return factory(args.y_true, args.y_pred)
+
+
+def _feature_table(table: Table, args) -> Table:
+    drop = [
+        c
+        for c in (args.y_true, args.y_pred, args.column)
+        if c and c in table
+    ]
+    return table.drop(drop) if drop else table
+
+
+def _add_outcome_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kind",
+        choices=["error", "accuracy", "fpr", "fnr", "numeric"],
+        default="error",
+        help="outcome whose divergence to analyse",
+    )
+    parser.add_argument("--y-true", help="ground-truth label column")
+    parser.add_argument("--y-pred", help="prediction column")
+    parser.add_argument(
+        "--positive", default="1", help="positive class label (rates)"
+    )
+    parser.add_argument(
+        "--column", help="numeric outcome column (for --kind numeric)"
+    )
+
+
+def cmd_datasets(_args) -> int:
+    from repro.datasets import dataset_names, load_dataset
+
+    for name in dataset_names():
+        ds = load_dataset(name, n_rows=64)
+        print(f"{name:16s} {ds.description}")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    from repro.datasets import load_dataset
+    from repro.tabular import write_csv
+
+    kwargs = {}
+    if args.rows:
+        kwargs["n_rows"] = args.rows
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    ds = load_dataset(args.name, **kwargs)
+    write_csv(ds.table, args.out)
+    print(f"wrote {ds.table.n_rows} rows of {ds.name!r} to {args.out}")
+    return 0
+
+
+def cmd_explore(args) -> int:
+    table = read_csv(args.csv)
+    outcome = _build_outcome(args)
+    values = outcome.values(table)
+    features = _feature_table(table, args)
+    if args.base:
+        trees = TreeDiscretizer(
+            args.tree_support, criterion=args.criterion
+        ).fit_all(features, values)
+        explorer = DivExplorer(args.support, polarity=args.polarity)
+        result = explorer.explore(
+            features,
+            values,
+            continuous_items={a: t.leaf_items() for a, t in trees.items()},
+        )
+        mode = "base (leaf items)"
+    else:
+        explorer = HDivExplorer(
+            min_support=args.support,
+            tree_support=args.tree_support,
+            criterion=args.criterion,
+            polarity=args.polarity,
+        )
+        result = explorer.explore(features, values)
+        mode = "hierarchical"
+    print(
+        f"{mode} exploration: {len(result)} frequent subgroups, "
+        f"f(D)={result.global_mean:.4f}, "
+        f"{result.elapsed_seconds:.2f}s"
+    )
+    for r in result.top_k(args.top, by=args.rank_by, min_t=args.min_t):
+        print(f"  {r}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.core.report import exploration_report
+
+    table = read_csv(args.csv)
+    outcome = _build_outcome(args)
+    values = outcome.values(table)
+    features = _feature_table(table, args)
+    explorer = HDivExplorer(
+        min_support=args.support,
+        tree_support=args.tree_support,
+        criterion=args.criterion,
+    )
+    result = explorer.explore(features, values)
+    print(
+        exploration_report(
+            result,
+            title=f"Divergence report: {args.csv} ({outcome.name})",
+            k=args.top,
+            min_t=args.min_t,
+            fdr_alpha=args.fdr_alpha,
+            hierarchies=explorer.last_hierarchies_,
+        )
+    )
+    return 0
+
+
+def cmd_discretize(args) -> int:
+    table = read_csv(args.csv)
+    outcome = _build_outcome(args)
+    values = outcome.values(table)
+    features = _feature_table(table, args)
+    if args.attribute not in features.continuous_names:
+        raise SystemExit(
+            f"{args.attribute!r} is not a continuous column of {args.csv}"
+        )
+    tree = TreeDiscretizer(
+        args.tree_support, criterion=args.criterion
+    ).fit(features, args.attribute, values)
+    print(tree.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="H-DivExplorer: hierarchical anomalous subgroup discovery",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("datasets", help="list bundled dataset generators")
+    p.set_defaults(fn=cmd_datasets)
+
+    p = sub.add_parser("generate", help="write a generated dataset to CSV")
+    p.add_argument("name")
+    p.add_argument("--out", required=True)
+    p.add_argument("--rows", type=int)
+    p.add_argument("--seed", type=int)
+    p.set_defaults(fn=cmd_generate)
+
+    p = sub.add_parser("explore", help="find divergent subgroups in a CSV")
+    p.add_argument("csv")
+    _add_outcome_flags(p)
+    p.add_argument("--support", type=float, default=0.05)
+    p.add_argument("--tree-support", type=float, default=0.1)
+    p.add_argument(
+        "--criterion", choices=["divergence", "entropy"], default="divergence"
+    )
+    p.add_argument("--polarity", action="store_true")
+    p.add_argument(
+        "--base", action="store_true",
+        help="non-hierarchical exploration over tree leaves",
+    )
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument(
+        "--rank-by",
+        choices=["abs_divergence", "divergence", "neg_divergence", "support"],
+        default="abs_divergence",
+    )
+    p.add_argument("--min-t", type=float, default=0.0)
+    p.set_defaults(fn=cmd_explore)
+
+    p = sub.add_parser(
+        "report", help="full divergence report for a CSV (hierarchical)"
+    )
+    p.add_argument("csv")
+    _add_outcome_flags(p)
+    p.add_argument("--support", type=float, default=0.05)
+    p.add_argument("--tree-support", type=float, default=0.1)
+    p.add_argument(
+        "--criterion", choices=["divergence", "entropy"], default="divergence"
+    )
+    p.add_argument("--top", type=int, default=5)
+    p.add_argument("--min-t", type=float, default=2.0)
+    p.add_argument("--fdr-alpha", type=float, default=0.05)
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser(
+        "discretize", help="print one attribute's discretization hierarchy"
+    )
+    p.add_argument("csv")
+    p.add_argument("--attribute", required=True)
+    _add_outcome_flags(p)
+    p.add_argument("--tree-support", type=float, default=0.1)
+    p.add_argument(
+        "--criterion", choices=["divergence", "entropy"], default="divergence"
+    )
+    p.set_defaults(fn=cmd_discretize)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Core algorithms: items, hierarchies, divergence, discretization, mining.
+
+This package implements the paper's primary contribution:
+
+- the item/itemset model over categorical and continuous attributes
+  (:mod:`repro.core.items`),
+- item hierarchies per Definition 4.1 (:mod:`repro.core.hierarchy`),
+- outcome functions and divergence with Welch t-statistics
+  (:mod:`repro.core.outcomes`, :mod:`repro.core.divergence`),
+- divergence-aware hierarchical tree discretization
+  (:mod:`repro.core.discretize`),
+- frequent-pattern mining with in-pass divergence accumulation, in both
+  flat and generalized (hierarchy-aware) forms (:mod:`repro.core.mining`),
+- the :class:`DivExplorer` baseline and the hierarchical
+  :class:`HDivExplorer` pipeline with polarity pruning.
+"""
+
+from repro.core.explorer import DivExplorer
+from repro.core.hexplorer import HDivExplorer
+from repro.core.hierarchy import HierarchySet, ItemHierarchy
+from repro.core.items import CategoricalItem, IntervalItem, Item, Itemset
+from repro.core.outcomes import (
+    Outcome,
+    accuracy_outcome,
+    error_difference,
+    error_rate,
+    false_negative_rate,
+    false_positive_rate,
+    negative_predictive_value,
+    numeric_outcome,
+    precision_outcome,
+    true_negative_rate,
+    true_positive_rate,
+)
+from repro.core.results import ResultSet, SubgroupResult
+
+__all__ = [
+    "CategoricalItem",
+    "DivExplorer",
+    "HDivExplorer",
+    "HierarchySet",
+    "IntervalItem",
+    "Item",
+    "ItemHierarchy",
+    "Itemset",
+    "Outcome",
+    "ResultSet",
+    "SubgroupResult",
+    "accuracy_outcome",
+    "error_difference",
+    "error_rate",
+    "false_negative_rate",
+    "false_positive_rate",
+    "negative_predictive_value",
+    "numeric_outcome",
+    "precision_outcome",
+    "true_negative_rate",
+    "true_positive_rate",
+]

@@ -1,0 +1,37 @@
+"""Discretization: divergence-aware tree hierarchies and flat baselines."""
+
+from repro.core.discretize.combined import (
+    CombinedNode,
+    CombinedTreeDiscretizer,
+)
+from repro.core.discretize.criteria import (
+    GainCriterion,
+    divergence_gain,
+    entropy_gain,
+    get_criterion,
+)
+from repro.core.discretize.tree import (
+    AttributeTree,
+    DiscretizationNode,
+    TreeDiscretizer,
+)
+from repro.core.discretize.unsupervised import (
+    manual_items,
+    quantile_items,
+    uniform_items,
+)
+
+__all__ = [
+    "AttributeTree",
+    "CombinedNode",
+    "CombinedTreeDiscretizer",
+    "DiscretizationNode",
+    "GainCriterion",
+    "TreeDiscretizer",
+    "divergence_gain",
+    "entropy_gain",
+    "get_criterion",
+    "manual_items",
+    "quantile_items",
+    "uniform_items",
+]

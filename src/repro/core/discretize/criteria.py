@@ -1,0 +1,119 @@
+"""Split gain criteria for discretization trees (Section V-A).
+
+Both criteria score a candidate split of a node ``S`` into ``S1, S2``;
+higher is better. Sizes are weighted against the *whole dataset* size
+``#D``, exactly as in the paper's formulas.
+
+- :func:`entropy_gain` applies when the statistic is a probability
+  (boolean outcome): it is the size-weighted reduction in binary entropy
+  of the outcome, as in classification trees.
+- :func:`divergence_gain` applies to any outcome: it rewards children
+  whose statistic departs from the parent's, weighted by child size.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.core.divergence import OutcomeStats, entropy
+
+GainCriterion = Callable[[OutcomeStats, OutcomeStats, OutcomeStats, int], float]
+
+
+def entropy_gain(
+    parent: OutcomeStats,
+    left: OutcomeStats,
+    right: OutcomeStats,
+    n_total: int,
+) -> float:
+    """Entropy-based gain.
+
+    ``g = (#S/#D)·H(S) − [(#S1/#D)·H(S1) + (#S2/#D)·H(S2)]``
+
+    Non-negative by concavity of the entropy. Requires a boolean
+    outcome; the caller is responsible for checking that.
+    """
+    g = (
+        parent.count * entropy(parent)
+        - left.count * entropy(left)
+        - right.count * entropy(right)
+    ) / n_total
+    # Clamp tiny negatives from floating point; the true gain is ≥ 0.
+    return max(g, 0.0)
+
+
+def divergence_gain(
+    parent: OutcomeStats,
+    left: OutcomeStats,
+    right: OutcomeStats,
+    n_total: int,
+) -> float:
+    """Divergence-based gain.
+
+    ``g = (#S1/#D)·|f(S1)−f(S)| + (#S2/#D)·|f(S2)−f(S)|``
+
+    Applicable to arbitrary (also non-probability) outcome functions.
+    A child with no defined outcome contributes zero.
+    """
+    f_parent = parent.mean
+    if math.isnan(f_parent):
+        return 0.0
+    g = 0.0
+    for child in (left, right):
+        f_child = child.mean
+        if not math.isnan(f_child):
+            g += child.count / n_total * abs(f_child - f_parent)
+    return g
+
+
+def mdl_accepts(
+    parent: OutcomeStats, left: OutcomeStats, right: OutcomeStats
+) -> bool:
+    """Fayyad–Irani MDLP stopping test for a binary-outcome split.
+
+    Accept the split of ``S`` into ``S1, S2`` iff
+
+    ``Gain > (log2(N−1) + Δ(S; S1, S2)) / N``
+
+    with ``Δ = log2(3^k − 2) − [k·H(S) − k1·H(S1) − k2·H(S2)]``, where
+    ``H`` is the class entropy in bits, ``N`` the number of
+    outcome-defined instances in ``S``, and ``k``/``k1``/``k2`` the
+    number of outcome classes present in each set. (Reference [23] of
+    the paper; used here as an optional principled stopping rule for
+    discretization trees.)
+    """
+    n = parent.n
+    if n < 2 or left.n == 0 or right.n == 0:
+        return False
+    log2e = 1.0 / math.log(2.0)
+    h = entropy(parent) * log2e
+    h1 = entropy(left) * log2e
+    h2 = entropy(right) * log2e
+    gain = h - (left.n / n) * h1 - (right.n / n) * h2
+
+    def n_classes(stats: OutcomeStats) -> int:
+        p = stats.mean
+        return 1 if (p <= 0.0 or p >= 1.0) else 2
+
+    k = n_classes(parent)
+    k1 = n_classes(left)
+    k2 = n_classes(right)
+    delta = math.log2(3.0**k - 2.0) - (k * h - k1 * h1 - k2 * h2)
+    return gain > (math.log2(n - 1) + delta) / n
+
+
+_CRITERIA: dict[str, GainCriterion] = {
+    "entropy": entropy_gain,
+    "divergence": divergence_gain,
+}
+
+
+def get_criterion(name: str) -> GainCriterion:
+    """Look up a gain criterion by name ('entropy' or 'divergence')."""
+    try:
+        return _CRITERIA[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown criterion {name!r}; expected one of {sorted(_CRITERIA)}"
+        ) from None

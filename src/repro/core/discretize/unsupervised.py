@@ -1,0 +1,80 @@
+"""Unsupervised (flat) discretization baselines (§VI-D).
+
+These produce non-overlapping interval items directly, without looking
+at the outcome. They are the comparison points for the paper's
+supervised hierarchical discretization: quantile binning, uniform-width
+binning, and fully manual edges (used for the compas manual
+discretization of prior work).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.items import IntervalItem
+from repro.tabular import Table
+
+
+def quantile_items(
+    table: Table, attribute: str, n_bins: int
+) -> list[IntervalItem]:
+    """Equal-frequency bins over the attribute's non-missing values.
+
+    Duplicate quantile edges (heavy ties) are collapsed, so fewer than
+    ``n_bins`` items may be returned. The outer bins are unbounded so
+    that the items cover the whole real line.
+    """
+    edges = _quantile_edges(table, attribute, n_bins)
+    return manual_items(attribute, edges)
+
+
+def uniform_items(
+    table: Table, attribute: str, n_bins: int
+) -> list[IntervalItem]:
+    """Equal-width bins between the attribute's min and max."""
+    if n_bins < 1:
+        raise ValueError("n_bins must be positive")
+    col = table.continuous(attribute)
+    lo, hi = col.min(), col.max()
+    if math.isnan(lo) or lo == hi:
+        return [IntervalItem(attribute)]
+    inner = list(np.linspace(lo, hi, n_bins + 1)[1:-1])
+    return manual_items(attribute, inner)
+
+
+def manual_items(
+    attribute: str, edges: Sequence[float]
+) -> list[IntervalItem]:
+    """Items from explicit cut points.
+
+    ``edges = [e1 < e2 < … < ek]`` produces the k+1 items
+    ``(−inf, e1], (e1, e2], …, (ek, +inf)``. An empty edge list yields
+    the single universal item.
+    """
+    edges = sorted(set(float(e) for e in edges))
+    if not edges:
+        return [IntervalItem(attribute)]
+    bounds = [-math.inf] + edges + [math.inf]
+    return [
+        IntervalItem(attribute, low, high)
+        for low, high in zip(bounds[:-1], bounds[1:])
+    ]
+
+
+def _quantile_edges(table: Table, attribute: str, n_bins: int) -> list[float]:
+    if n_bins < 1:
+        raise ValueError("n_bins must be positive")
+    values = table.continuous(attribute).values
+    finite = values[~np.isnan(values)]
+    if finite.size == 0:
+        return []
+    qs = np.linspace(0, 1, n_bins + 1)[1:-1]
+    edges = np.quantile(finite, qs)
+    # Collapse duplicate edges caused by ties; drop edges equal to the
+    # maximum (they would create an empty top bin).
+    unique = sorted(set(float(e) for e in edges))
+    top = float(finite.max())
+    return [e for e in unique if e < top]

@@ -1,0 +1,121 @@
+"""DivExplorer: non-hierarchical (base) divergence exploration (§III-C).
+
+Given a set of flat items and a support threshold ``s``, computes the
+divergence of every frequent itemset, accumulating the outcome
+statistics inside the frequent-pattern mining pass.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.items import Item
+from repro.core.mining.generalized import base_universe
+from repro.core.mining.transactions import EncodedUniverse, MinedItemset, mine
+from repro.core.outcomes import Outcome
+from repro.core.polarity import mine_with_polarity
+from repro.core.results import ResultSet, SubgroupResult
+from repro.tabular import Table
+
+
+def results_from_mined(
+    universe: EncodedUniverse,
+    mined: Iterable[MinedItemset],
+    elapsed_seconds: float,
+) -> ResultSet:
+    """Convert mined id-itemsets into a ranked :class:`ResultSet`."""
+    global_stats = universe.global_stats()
+    results = [
+        SubgroupResult.from_stats(
+            m.to_itemset(universe), m.stats, global_stats, universe.n_rows
+        )
+        for m in mined
+    ]
+    return ResultSet(results, global_stats, elapsed_seconds)
+
+
+class DivExplorer:
+    """Base (non-hierarchical) subgroup explorer.
+
+    Parameters
+    ----------
+    min_support:
+        Support threshold ``s``; only itemsets with support ≥ s are
+        explored (and reported).
+    backend:
+        ``"fpgrowth"`` (default) or ``"apriori"``.
+    max_length:
+        Optional cap on itemset cardinality.
+    polarity:
+        Enable polarity pruning (off by default for the base explorer,
+        matching the paper's experiments).
+    include_missing_items:
+        Add ``A = ⊥`` items for attributes with missing values.
+    """
+
+    def __init__(
+        self,
+        min_support: float = 0.05,
+        backend: str = "fpgrowth",
+        max_length: int | None = None,
+        polarity: bool = False,
+        include_missing_items: bool = False,
+    ):
+        if not 0.0 < min_support <= 1.0:
+            raise ValueError("min_support must be in (0, 1]")
+        self.min_support = min_support
+        self.backend = backend
+        self.max_length = max_length
+        self.polarity = polarity
+        self.include_missing_items = include_missing_items
+
+    def explore(
+        self,
+        table: Table,
+        outcome: Outcome | np.ndarray,
+        continuous_items: dict[str, Iterable[Item]] | None = None,
+        categorical_attributes: Iterable[str] | None = None,
+        extra_items: Iterable[Item] = (),
+    ) -> ResultSet:
+        """Explore all frequent itemsets of a flat item universe.
+
+        Parameters
+        ----------
+        table:
+            The dataset.
+        outcome:
+            Outcome function (or precomputed per-row array).
+        continuous_items:
+            Discretization items per continuous attribute (tree leaves,
+            quantile bins, manual bins, ...). Continuous attributes
+            not mentioned are ignored.
+        categorical_attributes:
+            Categorical attributes to include with one item per value;
+            defaults to all categorical columns.
+        extra_items:
+            Additional items appended verbatim.
+        """
+        universe = base_universe(
+            table,
+            outcome,
+            continuous_items or {},
+            categorical_attributes,
+            extra_items,
+            include_missing_items=self.include_missing_items,
+        )
+        return self.explore_universe(universe)
+
+    def explore_universe(self, universe: EncodedUniverse) -> ResultSet:
+        """Explore a pre-encoded universe (shared with H-DivExplorer)."""
+        start = time.perf_counter()
+        if self.polarity:
+            mined = mine_with_polarity(
+                universe, self.min_support, self.backend, self.max_length
+            )
+        else:
+            mined = mine(universe, self.min_support, self.backend, self.max_length)
+        elapsed = time.perf_counter() - start
+        return results_from_mined(universe, mined, elapsed)

@@ -1,0 +1,176 @@
+"""H-DivExplorer: hierarchical divergence exploration (Section V).
+
+The two-step pipeline of the paper:
+
+1. *Hierarchical discretization* — every continuous attribute without a
+   user-supplied hierarchy gets a divergence-aware discretization tree
+   (support threshold ``st``), whose nodes form an item hierarchy.
+2. *Generalized subgroup extraction* — generalized frequent-pattern
+   mining over all hierarchies (tree-derived and predefined categorical
+   ones), with divergence accumulated in-pass and, optionally, polarity
+   pruning.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.discretize.tree import TreeDiscretizer
+from repro.core.hierarchy import HierarchySet, ItemHierarchy
+from repro.core.mining.generalized import generalized_universe
+from repro.core.mining.transactions import mine
+from repro.core.outcomes import Outcome
+from repro.core.polarity import mine_with_polarity
+from repro.core.explorer import results_from_mined
+from repro.core.results import ResultSet
+from repro.tabular import Table
+
+
+class HDivExplorer:
+    """Hierarchical subgroup explorer (the paper's main contribution).
+
+    Parameters
+    ----------
+    min_support:
+        Exploration support threshold ``s``.
+    tree_support:
+        Discretization-tree support threshold ``st`` (typically larger
+        than ``s``: coarse items that can be combined across
+        attributes).
+    criterion:
+        Tree split gain: ``"divergence"`` (any outcome) or
+        ``"entropy"`` (boolean outcomes only).
+    backend:
+        Mining backend, ``"fpgrowth"`` (default) or ``"apriori"``.
+    polarity:
+        Enable polarity pruning (Section V-C).
+    max_length:
+        Optional cap on itemset cardinality.
+    max_candidates:
+        Candidate-threshold cap per tree node (see
+        :class:`TreeDiscretizer`).
+    max_depth:
+        Optional cap on tree depth.
+    include_missing_items:
+        Add ``A = ⊥`` items for attributes with missing values.
+
+    Attributes
+    ----------
+    last_hierarchies_:
+        The :class:`HierarchySet` Γ used by the last ``explore`` call.
+    last_discretization_seconds_:
+        Wall-clock time of the last discretization step (the
+        exploration time is on the returned :class:`ResultSet`).
+    """
+
+    def __init__(
+        self,
+        min_support: float = 0.05,
+        tree_support: float = 0.1,
+        criterion: str = "divergence",
+        backend: str = "fpgrowth",
+        polarity: bool = False,
+        max_length: int | None = None,
+        max_candidates: int = 64,
+        max_depth: int | None = None,
+        include_missing_items: bool = False,
+    ):
+        if not 0.0 < min_support <= 1.0:
+            raise ValueError("min_support must be in (0, 1]")
+        self.min_support = min_support
+        self.tree_support = tree_support
+        self.criterion = criterion
+        self.backend = backend
+        self.polarity = polarity
+        self.max_length = max_length
+        self.max_candidates = max_candidates
+        self.max_depth = max_depth
+        self.include_missing_items = include_missing_items
+        self.last_hierarchies_: HierarchySet | None = None
+        self.last_discretization_seconds_: float = 0.0
+
+    # -- pipeline steps ----------------------------------------------------
+
+    def discretize(
+        self,
+        table: Table,
+        outcome: Outcome | np.ndarray,
+        attributes: Iterable[str] | None = None,
+    ) -> HierarchySet:
+        """Step 1: fit discretization trees for continuous attributes."""
+        discretizer = TreeDiscretizer(
+            min_support=self.tree_support,
+            criterion=self.criterion,
+            max_candidates=self.max_candidates,
+            max_depth=self.max_depth,
+        )
+        attrs = list(attributes) if attributes is not None else None
+        return discretizer.hierarchy_set(table, outcome, attrs)
+
+    def explore(
+        self,
+        table: Table,
+        outcome: Outcome | np.ndarray,
+        hierarchies: Iterable[ItemHierarchy] | HierarchySet = (),
+        continuous_attributes: Iterable[str] | None = None,
+        categorical_attributes: Iterable[str] | None = None,
+    ) -> ResultSet:
+        """Run the full pipeline and return ranked divergent subgroups.
+
+        Parameters
+        ----------
+        table:
+            The dataset.
+        outcome:
+            Outcome function (or precomputed per-row array).
+        hierarchies:
+            Predefined hierarchies (e.g. categorical taxonomies, or
+            pre-built trees). Attributes covered here are not
+            re-discretized.
+        continuous_attributes:
+            Continuous attributes to discretize; defaults to every
+            continuous column not covered by ``hierarchies``.
+        categorical_attributes:
+            Categorical attributes included as flat value items when
+            they have no hierarchy; defaults to all of them.
+        """
+        gamma = HierarchySet()
+        provided = (
+            hierarchies if isinstance(hierarchies, HierarchySet)
+            else HierarchySet(hierarchies)
+        )
+        for h in provided:
+            gamma.add(h)
+
+        if continuous_attributes is None:
+            continuous_attributes = [
+                a for a in table.continuous_names if a not in gamma
+            ]
+        else:
+            continuous_attributes = [
+                a for a in continuous_attributes if a not in gamma
+            ]
+        start = time.perf_counter()
+        if continuous_attributes:
+            trees = self.discretize(table, outcome, continuous_attributes)
+            for h in trees:
+                gamma.add(h)
+        self.last_discretization_seconds_ = time.perf_counter() - start
+        self.last_hierarchies_ = gamma
+
+        universe = generalized_universe(
+            table, outcome, gamma, categorical_attributes,
+            include_missing_items=self.include_missing_items,
+        )
+        start = time.perf_counter()
+        if self.polarity:
+            mined = mine_with_polarity(
+                universe, self.min_support, self.backend, self.max_length
+            )
+        else:
+            mined = mine(universe, self.min_support, self.backend, self.max_length)
+        elapsed = time.perf_counter() - start
+        return results_from_mined(universe, mined, elapsed)

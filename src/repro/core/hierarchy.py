@@ -1,0 +1,272 @@
+"""Item hierarchies (Definition 4.1) and hierarchy sets.
+
+An item hierarchy for attribute ``A`` is a set of items together with a
+refinement relation ``α ≻ β`` ("β refines α"). Whenever an item has
+refinements, their supports must *partition* its support: they are
+pairwise disjoint and their union is the parent's support.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.core.items import Item, IntervalItem
+from repro.tabular import Table
+
+
+class ItemHierarchy:
+    """A rooted item hierarchy for a single attribute.
+
+    Parameters
+    ----------
+    attribute:
+        Attribute the hierarchy refers to.
+    root:
+        The most general item (typically covering the whole domain).
+    children:
+        Mapping from each refined item to the tuple of its one-step
+        refinements. Items absent from the mapping are leaves.
+
+    Notes
+    -----
+    The structure must be a tree rooted at ``root``: every non-root item
+    appears as a child of exactly one parent, and the relation is
+    acyclic. This is checked at construction. The *partition* property
+    of Definition 4.1 depends on the data and is checked by
+    :meth:`validate`.
+    """
+
+    def __init__(
+        self,
+        attribute: str,
+        root: Item,
+        children: dict[Item, tuple[Item, ...]],
+    ):
+        if root.attribute != attribute:
+            raise ValueError("root item is not on the hierarchy's attribute")
+        self.attribute = attribute
+        self.root = root
+        self.children: dict[Item, tuple[Item, ...]] = {
+            parent: tuple(kids) for parent, kids in children.items() if kids
+        }
+        self.parent: dict[Item, Item] = {}
+        for parent, kids in self.children.items():
+            for kid in kids:
+                if kid.attribute != attribute:
+                    raise ValueError(
+                        f"item {kid} is not on attribute {attribute!r}"
+                    )
+                if kid in self.parent:
+                    raise ValueError(f"item {kid} has two parents")
+                self.parent[kid] = parent
+        if root in self.parent:
+            raise ValueError("root cannot have a parent")
+        # Reachability check: every item mentioned must hang off the root.
+        reachable = set(self._iter_from(root))
+        mentioned = {root} | set(self.parent) | set(self.children)
+        unreachable = mentioned - reachable
+        if unreachable:
+            raise ValueError(
+                f"items not reachable from root: {sorted(map(str, unreachable))}"
+            )
+
+    def _iter_from(self, item: Item) -> Iterator[Item]:
+        yield item
+        for kid in self.children.get(item, ()):
+            yield from self._iter_from(kid)
+
+    # -- queries ------------------------------------------------------------
+
+    def items(self, include_root: bool = True) -> list[Item]:
+        """All items, in depth-first (pre)order."""
+        all_items = list(self._iter_from(self.root))
+        if include_root:
+            return all_items
+        return [it for it in all_items if it is not self.root]
+
+    def leaves(self) -> list[Item]:
+        """Items with no refinements, in depth-first order."""
+        return [it for it in self._iter_from(self.root) if it not in self.children]
+
+    def is_leaf(self, item: Item) -> bool:
+        return item not in self.children
+
+    def ancestors(self, item: Item) -> list[Item]:
+        """Proper ancestors of ``item``, nearest first."""
+        out = []
+        while item in self.parent:
+            item = self.parent[item]
+            out.append(item)
+        return out
+
+    def descendants(self, item: Item) -> list[Item]:
+        """Proper descendants of ``item``, depth-first order."""
+        return [it for it in self._iter_from(item) if it is not item]
+
+    def depth(self, item: Item) -> int:
+        """Root has depth 0; each refinement step adds 1."""
+        return len(self.ancestors(item))
+
+    def __len__(self) -> int:
+        return len(self.items())
+
+    def __contains__(self, item: Item) -> bool:
+        return item is self.root or item in self.parent
+
+    # -- Definition 4.1 validation -------------------------------------------
+
+    def validate(self, table: Table) -> None:
+        """Check the partition property of Definition 4.1 on ``table``.
+
+        For every refined item α with refinements β1..βk:
+        ``Dα = ∪ Dβi`` and the ``Dβi`` are pairwise disjoint.
+
+        Raises
+        ------
+        ValueError
+            If any refinement fails to partition its parent's support.
+        """
+        for parent, kids in self.children.items():
+            parent_mask = parent.mask(table)
+            union = np.zeros(table.n_rows, dtype=bool)
+            for kid in kids:
+                kid_mask = kid.mask(table)
+                if np.any(union & kid_mask):
+                    raise ValueError(
+                        f"refinements of {parent} overlap at {kid}"
+                    )
+                union |= kid_mask
+            if not np.array_equal(union, parent_mask):
+                raise ValueError(
+                    f"refinements of {parent} do not cover it exactly"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"ItemHierarchy({self.attribute!r}, items={len(self)}, "
+            f"leaves={len(self.leaves())})"
+        )
+
+    def render(self, annotate=None) -> str:
+        """ASCII rendering of the hierarchy (one item per line).
+
+        Parameters
+        ----------
+        annotate:
+            Optional callable ``item -> str`` appended to each line
+            (e.g. support and divergence, as in Figure 1 of the paper).
+        """
+        lines: list[str] = []
+
+        def walk(item: Item, depth: int) -> None:
+            suffix = f"  [{annotate(item)}]" if annotate is not None else ""
+            lines.append("  " * depth + str(item) + suffix)
+            for kid in self.children.get(item, ()):
+                walk(kid, depth + 1)
+
+        walk(self.root, 0)
+        return "\n".join(lines)
+
+
+def flat_hierarchy(attribute: str, items: Iterable[Item]) -> ItemHierarchy:
+    """Wrap disjoint flat items as a depth-1 hierarchy.
+
+    The root is the universal interval for interval items, or a
+    synthetic categorical item covering all values. Used so that
+    attributes without a real hierarchy fit the generalized machinery.
+    """
+    items = list(items)
+    if not items:
+        raise ValueError("need at least one item")
+    if all(isinstance(it, IntervalItem) for it in items):
+        root: Item = IntervalItem(attribute)
+    else:
+        from repro.core.items import CategoricalItem
+
+        values: set[str] = set()
+        for it in items:
+            if not isinstance(it, CategoricalItem):
+                raise TypeError("mixed item types in flat hierarchy")
+            values |= it.values
+        root = CategoricalItem(attribute, values, label="*")
+    if len(items) == 1 and items[0] == root:
+        return ItemHierarchy(attribute, root, {})
+    return ItemHierarchy(attribute, root, {root: tuple(items)})
+
+
+class HierarchySet:
+    """The hierarchical discretization Γ: one hierarchy per attribute.
+
+    Attributes without an explicit hierarchy can be added via
+    :meth:`add_flat`, which wraps their items in a one-level hierarchy.
+    """
+
+    def __init__(self, hierarchies: Iterable[ItemHierarchy] = ()):
+        self._by_attr: dict[str, ItemHierarchy] = {}
+        for h in hierarchies:
+            self.add(h)
+
+    def add(self, hierarchy: ItemHierarchy) -> None:
+        if hierarchy.attribute in self._by_attr:
+            raise ValueError(
+                f"attribute {hierarchy.attribute!r} already has a hierarchy"
+            )
+        self._by_attr[hierarchy.attribute] = hierarchy
+
+    def add_flat(self, attribute: str, items: Iterable[Item]) -> None:
+        self.add(flat_hierarchy(attribute, items))
+
+    @property
+    def attributes(self) -> list[str]:
+        return list(self._by_attr)
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self._by_attr
+
+    def __getitem__(self, attribute: str) -> ItemHierarchy:
+        return self._by_attr[attribute]
+
+    def __iter__(self) -> Iterator[ItemHierarchy]:
+        return iter(self._by_attr.values())
+
+    def __len__(self) -> int:
+        return len(self._by_attr)
+
+    def all_items(self, include_roots: bool = False) -> list[Item]:
+        """Every item of every hierarchy (roots excluded by default).
+
+        Roots have support 1 and zero divergence, so including them in
+        the mined item universe only inflates the lattice.
+        """
+        out: list[Item] = []
+        for h in self._by_attr.values():
+            out.extend(h.items(include_root=include_roots))
+        return out
+
+    def leaf_items(self) -> list[Item]:
+        """The finest-granularity items of every hierarchy.
+
+        These are exactly the items a non-hierarchical (base) method
+        would use after discretization.
+        """
+        out: list[Item] = []
+        for h in self._by_attr.values():
+            out.extend(h.leaves())
+        return out
+
+    def ancestors(self, item: Item) -> list[Item]:
+        """Proper ancestors of ``item`` in its attribute's hierarchy.
+
+        The root is excluded (it is not part of the mined universe).
+        """
+        h = self._by_attr.get(item.attribute)
+        if h is None or item not in h:
+            return []
+        return [a for a in h.ancestors(item) if a is not h.root]
+
+    def validate(self, table: Table) -> None:
+        """Validate every member hierarchy against ``table``."""
+        for h in self._by_attr.values():
+            h.validate(table)

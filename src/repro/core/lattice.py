@@ -1,0 +1,102 @@
+"""Navigating explored subgroups as a generalization lattice.
+
+An exploration returns thousands of overlapping subgroups; many are
+minor refinements of one another with nearly the same divergence. This
+module provides the structural queries users need to digest a
+:class:`ResultSet`:
+
+- :func:`generalizations` / :func:`specializations` — lattice edges
+  between explored itemsets (B generalizes A iff every instance of A
+  satisfies B, per :meth:`Itemset.generalizes`, which also understands
+  hierarchy items covering finer ones);
+- :func:`redundancy_prune` — keep a result only if no *more general*
+  kept result already achieves nearly the same divergence, the
+  standard redundancy filter for pattern-based top-k lists.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.results import SubgroupResult
+
+
+def generalizations(
+    target: SubgroupResult, pool: Iterable[SubgroupResult]
+) -> list[SubgroupResult]:
+    """Results in ``pool`` that strictly generalize ``target``."""
+    out = []
+    for other in pool:
+        if other.itemset == target.itemset:
+            continue
+        if other.itemset.generalizes(target.itemset):
+            out.append(other)
+    return out
+
+
+def specializations(
+    target: SubgroupResult, pool: Iterable[SubgroupResult]
+) -> list[SubgroupResult]:
+    """Results in ``pool`` that strictly specialize ``target``."""
+    out = []
+    for other in pool:
+        if other.itemset == target.itemset:
+            continue
+        if target.itemset.generalizes(other.itemset):
+            out.append(other)
+    return out
+
+
+def redundancy_prune(
+    results: list[SubgroupResult], epsilon: float = 0.01
+) -> list[SubgroupResult]:
+    """Filter a ranked result list down to non-redundant subgroups.
+
+    A result is *redundant* if some already-kept result generalizes it
+    and achieves divergence within ``epsilon`` (same sign of interest:
+    the comparison uses |Δ|). Intended for short ranked lists (top-k),
+    where the O(kept · candidates) scan is negligible.
+
+    Parameters
+    ----------
+    results:
+        Results in the order they should be considered (typically the
+        output of ``ResultSet.top_k``, best first).
+    epsilon:
+        Allowed |Δ| slack before a specialization is considered to add
+        information over its generalization.
+    """
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    kept: list[SubgroupResult] = []
+    for candidate in results:
+        redundant = False
+        for existing in kept:
+            if not existing.itemset.generalizes(candidate.itemset):
+                continue
+            if existing.itemset == candidate.itemset:
+                redundant = True
+                break
+            if abs(candidate.divergence) <= abs(existing.divergence) + epsilon:
+                redundant = True
+                break
+        if not redundant:
+            kept.append(candidate)
+    return kept
+
+
+def maximal_results(results: list[SubgroupResult]) -> list[SubgroupResult]:
+    """Results not generalized by any other result in the list.
+
+    These are the coarsest explored descriptions — the natural starting
+    points for drilling down via :func:`specializations`.
+    """
+    out = []
+    for candidate in results:
+        if not any(
+            other.itemset != candidate.itemset
+            and other.itemset.generalizes(candidate.itemset)
+            for other in results
+        ):
+            out.append(candidate)
+    return out

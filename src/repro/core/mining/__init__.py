@@ -1,0 +1,30 @@
+"""Frequent-pattern mining with in-pass divergence accumulation.
+
+Two interchangeable backends (Apriori and FP-Growth) mine all frequent
+itemsets over an encoded item universe while accumulating the outcome
+sufficient statistics of every itemset, so divergence and significance
+come out of the mining pass for free (Algorithm 1 of the paper).
+
+The *generalized* universe (:func:`generalized_universe`) augments the
+item set with every hierarchy-internal item; transactions are extended
+with ancestors (the Srikant–Agrawal "Cumulate" encoding), and the
+one-item-per-attribute rule keeps ancestor/descendant pairs from ever
+sharing an itemset.
+"""
+
+from repro.core.mining.apriori import mine_apriori
+from repro.core.mining.eclat import mine_eclat
+from repro.core.mining.fpgrowth import mine_fpgrowth
+from repro.core.mining.generalized import base_universe, generalized_universe
+from repro.core.mining.transactions import EncodedUniverse, MinedItemset, mine
+
+__all__ = [
+    "EncodedUniverse",
+    "MinedItemset",
+    "base_universe",
+    "generalized_universe",
+    "mine",
+    "mine_apriori",
+    "mine_eclat",
+    "mine_fpgrowth",
+]

@@ -1,0 +1,173 @@
+"""Encoding a dataset and item universe for mining."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.divergence import OutcomeStats
+from repro.core.items import Item, Itemset
+from repro.core.outcomes import Outcome
+from repro.tabular import Table
+
+
+class EncodedUniverse:
+    """A dataset encoded against a fixed list of items.
+
+    Holds, for each item, its boolean row mask, plus the per-row outcome
+    array; everything the mining backends need, computed once.
+
+    Parameters
+    ----------
+    items:
+        The item universe ``I`` (order defines item ids).
+    masks:
+        Boolean matrix of shape ``(len(items), n_rows)``;
+        ``masks[i, r]`` iff row ``r`` satisfies item ``i``.
+    outcomes:
+        Per-row outcome values; NaN is ⊥.
+    """
+
+    def __init__(
+        self,
+        items: Sequence[Item],
+        masks: np.ndarray,
+        outcomes: np.ndarray,
+    ):
+        self.items: list[Item] = list(items)
+        if masks.shape[0] != len(self.items):
+            raise ValueError("one mask row per item required")
+        self.masks = np.ascontiguousarray(masks, dtype=bool)
+        self.outcomes = np.asarray(outcomes, dtype=np.float64)
+        if self.outcomes.shape != (masks.shape[1],):
+            raise ValueError("outcome length must equal the mask row length")
+        self.n_rows = int(masks.shape[1])
+        self.attribute_of: list[str] = [it.attribute for it in self.items]
+        self.index: dict[Item, int] = {it: i for i, it in enumerate(self.items)}
+        # Precomputed helpers for O(n) stats of arbitrary masks.
+        self._valid = ~np.isnan(self.outcomes)
+        self._o = np.where(self._valid, self.outcomes, 0.0)
+        self._o2 = self._o * self._o
+
+    @classmethod
+    def from_table(
+        cls,
+        table: Table,
+        items: Iterable[Item],
+        outcome: Outcome | np.ndarray,
+    ) -> "EncodedUniverse":
+        """Evaluate item masks and the outcome against ``table``."""
+        items = list(items)
+        masks = np.empty((len(items), table.n_rows), dtype=bool)
+        for i, item in enumerate(items):
+            masks[i] = item.mask(table)
+        if isinstance(outcome, Outcome):
+            outcomes = outcome.values(table)
+        else:
+            outcomes = np.asarray(outcome, dtype=np.float64)
+        return cls(items, masks, outcomes)
+
+    def n_items(self) -> int:
+        return len(self.items)
+
+    def stats_of_mask(self, mask: np.ndarray) -> OutcomeStats:
+        """Outcome sufficient statistics of the rows selected by ``mask``."""
+        return OutcomeStats(
+            count=int(np.count_nonzero(mask)),
+            n=int(np.count_nonzero(mask & self._valid)),
+            total=float(self._o @ mask),
+            total_sq=float(self._o2 @ mask),
+        )
+
+    def global_stats(self) -> OutcomeStats:
+        """Whole-dataset statistics (f(D) and its variance)."""
+        return OutcomeStats(
+            count=self.n_rows,
+            n=int(self._valid.sum()),
+            total=float(self._o.sum()),
+            total_sq=float(self._o2.sum()),
+        )
+
+    def item_stats(self) -> list[OutcomeStats]:
+        """Per-item statistics (used for polarity assignment)."""
+        return [self.stats_of_mask(self.masks[i]) for i in range(self.n_items())]
+
+    def transactions(self) -> list[list[int]]:
+        """Row-wise transactions: the sorted item ids matching each row."""
+        rows_per_item = self.masks.T  # (n_rows, n_items)
+        return [np.nonzero(row)[0].tolist() for row in rows_per_item]
+
+    def restricted(self, item_ids: Iterable[int]) -> "EncodedUniverse":
+        """A sub-universe containing only the given items.
+
+        Used by polarity pruning to mine the positive- and negative-
+        polarity item subsets separately.
+        """
+        ids = sorted(set(item_ids))
+        sub = EncodedUniverse.__new__(EncodedUniverse)
+        sub.items = [self.items[i] for i in ids]
+        sub.masks = self.masks[ids]
+        sub.outcomes = self.outcomes
+        sub.n_rows = self.n_rows
+        sub.attribute_of = [self.attribute_of[i] for i in ids]
+        sub.index = {it: i for i, it in enumerate(sub.items)}
+        sub._valid = self._valid
+        sub._o = self._o
+        sub._o2 = self._o2
+        return sub
+
+    def __repr__(self) -> str:
+        return f"EncodedUniverse(items={self.n_items()}, rows={self.n_rows})"
+
+
+@dataclass(frozen=True)
+class MinedItemset:
+    """A frequent itemset found by a mining backend.
+
+    ``ids`` are indices into the universe's item list; ``stats`` are the
+    accumulated outcome statistics of the supporting rows.
+    """
+
+    ids: frozenset[int]
+    stats: OutcomeStats
+
+    def to_itemset(self, universe: EncodedUniverse) -> Itemset:
+        # Backends guarantee one item per attribute; skip re-validation.
+        return Itemset._from_distinct(
+            frozenset(universe.items[i] for i in self.ids)
+        )
+
+
+def mine(
+    universe: EncodedUniverse,
+    min_support: float,
+    backend: str = "fpgrowth",
+    max_length: int | None = None,
+) -> list[MinedItemset]:
+    """Mine all frequent itemsets with the chosen backend.
+
+    Parameters
+    ----------
+    universe:
+        Encoded dataset and item universe.
+    min_support:
+        The support threshold ``s`` (fraction of rows).
+    backend:
+        ``"fpgrowth"`` (default), ``"apriori"``, or ``"eclat"``; all
+        return the same itemsets and statistics.
+    max_length:
+        Optional cap on itemset cardinality.
+    """
+    from repro.core.mining.apriori import mine_apriori
+    from repro.core.mining.eclat import mine_eclat
+    from repro.core.mining.fpgrowth import mine_fpgrowth
+
+    if backend == "fpgrowth":
+        return mine_fpgrowth(universe, min_support, max_length)
+    if backend == "apriori":
+        return mine_apriori(universe, min_support, max_length)
+    if backend == "eclat":
+        return mine_eclat(universe, min_support, max_length)
+    raise ValueError(f"unknown mining backend {backend!r}")

@@ -1,0 +1,115 @@
+"""Ranking-related outcome functions (Section III-B, ref. [24]).
+
+The divergence framework covers ranking tasks too: given a score
+column that induces a ranking, the *selection rate* of a subgroup is
+the fraction of its members ranked in the global top-k. A subgroup
+whose members are systematically under-selected has negative selection
+divergence — the ranking analogue of a biased classifier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.outcomes import Outcome
+from repro.tabular import Table
+
+
+def selection_rate(
+    score_column: str,
+    top_fraction: float = 0.1,
+    higher_is_better: bool = True,
+) -> Outcome:
+    """Boolean outcome: 1 if the row ranks in the global top-k.
+
+    Parameters
+    ----------
+    score_column:
+        Continuous column whose values induce the ranking.
+    top_fraction:
+        The selected fraction k/n (e.g. 0.1 = top decile).
+    higher_is_better:
+        Direction of the ranking.
+
+    Rows with a missing score get ⊥. Ties at the cutoff are resolved by
+    stable sort order, so exactly ``round(top_fraction · #scored)``
+    rows are selected.
+    """
+    if not 0.0 < top_fraction < 1.0:
+        raise ValueError("top_fraction must be in (0, 1)")
+
+    def fn(table: Table) -> np.ndarray:
+        scores = table.continuous(score_column).values
+        out = np.full(table.n_rows, np.nan)
+        scored = np.nonzero(~np.isnan(scores))[0]
+        if scored.size == 0:
+            return out
+        k = int(round(top_fraction * scored.size))
+        k = min(max(k, 0), scored.size)
+        order = np.argsort(
+            -scores[scored] if higher_is_better else scores[scored],
+            kind="stable",
+        )
+        out[scored] = 0.0
+        out[scored[order[:k]]] = 1.0
+        return out
+
+    return Outcome(f"top{top_fraction:g}-selection", fn, boolean=True)
+
+
+def rank_position(
+    score_column: str, higher_is_better: bool = True
+) -> Outcome:
+    """Numeric outcome: the row's normalized rank in [0, 1].
+
+    0 is the best-ranked row, 1 the worst. A subgroup with positive
+    divergence sits systematically lower in the ranking than average.
+    Missing scores get ⊥.
+    """
+
+    def fn(table: Table) -> np.ndarray:
+        scores = table.continuous(score_column).values
+        out = np.full(table.n_rows, np.nan)
+        scored = np.nonzero(~np.isnan(scores))[0]
+        if scored.size == 0:
+            return out
+        order = np.argsort(
+            -scores[scored] if higher_is_better else scores[scored],
+            kind="stable",
+        )
+        ranks = np.empty(scored.size)
+        denominator = max(scored.size - 1, 1)
+        ranks[order] = np.arange(scored.size) / denominator
+        out[scored] = ranks
+        return out
+
+    return Outcome("normalized-rank", fn, boolean=False)
+
+
+def exposure(
+    score_column: str, higher_is_better: bool = True
+) -> Outcome:
+    """Numeric outcome: logarithmic-discount exposure of each row.
+
+    Uses the standard ranking-exposure model ``1 / log2(rank + 1)``
+    (rank starting at 1), normalized so the top row has exposure 1.
+    Subgroups with negative exposure divergence receive systematically
+    less attention than average under position-biased examination.
+    """
+
+    def fn(table: Table) -> np.ndarray:
+        scores = table.continuous(score_column).values
+        out = np.full(table.n_rows, np.nan)
+        scored = np.nonzero(~np.isnan(scores))[0]
+        if scored.size == 0:
+            return out
+        order = np.argsort(
+            -scores[scored] if higher_is_better else scores[scored],
+            kind="stable",
+        )
+        positions = np.empty(scored.size)
+        positions[order] = np.arange(1, scored.size + 1)
+        out[scored] = 1.0 / np.log2(positions + 1.0)
+        return out
+
+    return Outcome("exposure", fn, boolean=False)

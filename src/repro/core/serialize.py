@@ -1,0 +1,171 @@
+"""JSON serialization of items, itemsets and exploration results.
+
+Lets explorations be saved, diffed and reloaded without pickling:
+
+>>> save_results(result, "findings.json")
+>>> result2 = load_results("findings.json")
+>>> result2.top_k(1)[0].itemset == result.top_k(1)[0].itemset
+True
+
+Floats are stored verbatim; NaN/±inf use JSON-incompatible literals via
+string sentinels so files stay valid JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from repro.core.divergence import OutcomeStats
+from repro.core.items import (
+    CategoricalItem,
+    IntervalItem,
+    Item,
+    Itemset,
+    MissingItem,
+)
+from repro.core.results import ResultSet, SubgroupResult
+
+_NAN = "NaN"
+_INF = "Infinity"
+_NEG_INF = "-Infinity"
+
+
+def _encode_float(x: float):
+    if math.isnan(x):
+        return _NAN
+    if math.isinf(x):
+        return _INF if x > 0 else _NEG_INF
+    return x
+
+
+def _decode_float(x) -> float:
+    if x == _NAN:
+        return float("nan")
+    if x == _INF:
+        return math.inf
+    if x == _NEG_INF:
+        return -math.inf
+    return float(x)
+
+
+def item_to_dict(item: Item) -> dict:
+    """Encode an item as a JSON-compatible dict."""
+    if isinstance(item, CategoricalItem):
+        return {
+            "kind": "categorical",
+            "attribute": item.attribute,
+            "values": sorted(item.values),
+            "label": item.label,
+        }
+    if isinstance(item, IntervalItem):
+        return {
+            "kind": "interval",
+            "attribute": item.attribute,
+            "low": _encode_float(item.low),
+            "high": _encode_float(item.high),
+            "closed_low": item.closed_low,
+            "closed_high": item.closed_high,
+        }
+    if isinstance(item, MissingItem):
+        return {"kind": "missing", "attribute": item.attribute}
+    raise TypeError(f"cannot serialize item type {type(item).__name__}")
+
+
+def item_from_dict(data: dict) -> Item:
+    """Decode an item from :func:`item_to_dict` output."""
+    kind = data.get("kind")
+    if kind == "categorical":
+        return CategoricalItem(
+            data["attribute"], data["values"], data.get("label")
+        )
+    if kind == "interval":
+        return IntervalItem(
+            data["attribute"],
+            _decode_float(data["low"]),
+            _decode_float(data["high"]),
+            data["closed_low"],
+            data["closed_high"],
+        )
+    if kind == "missing":
+        return MissingItem(data["attribute"])
+    raise ValueError(f"unknown item kind {kind!r}")
+
+
+def itemset_to_list(itemset: Itemset) -> list[dict]:
+    """Encode an itemset as a sorted list of item dicts."""
+    return [item_to_dict(it) for it in sorted(itemset.items, key=str)]
+
+
+def itemset_from_list(data: list[dict]) -> Itemset:
+    return Itemset(item_from_dict(d) for d in data)
+
+
+def result_to_dict(result: SubgroupResult) -> dict:
+    return {
+        "itemset": itemset_to_list(result.itemset),
+        "support": result.support,
+        "count": result.count,
+        "mean": _encode_float(result.mean),
+        "divergence": _encode_float(result.divergence),
+        "t": _encode_float(result.t),
+    }
+
+
+def result_from_dict(data: dict) -> SubgroupResult:
+    return SubgroupResult(
+        itemset=itemset_from_list(data["itemset"]),
+        support=float(data["support"]),
+        count=int(data["count"]),
+        mean=_decode_float(data["mean"]),
+        divergence=_decode_float(data["divergence"]),
+        t=_decode_float(data["t"]),
+    )
+
+
+def results_to_dict(results: ResultSet) -> dict:
+    """Encode a whole result set (including the global statistics)."""
+    g = results.global_stats
+    return {
+        "format": "repro.results.v1",
+        "global_stats": {
+            "count": g.count,
+            "n": g.n,
+            "total": _encode_float(g.total),
+            "total_sq": _encode_float(g.total_sq),
+        },
+        "elapsed_seconds": results.elapsed_seconds,
+        "results": [result_to_dict(r) for r in results],
+    }
+
+
+def results_from_dict(data: dict) -> ResultSet:
+    if data.get("format") != "repro.results.v1":
+        raise ValueError(
+            f"unsupported results format {data.get('format')!r}"
+        )
+    g = data["global_stats"]
+    global_stats = OutcomeStats(
+        count=int(g["count"]),
+        n=int(g["n"]),
+        total=_decode_float(g["total"]),
+        total_sq=_decode_float(g["total_sq"]),
+    )
+    return ResultSet(
+        [result_from_dict(d) for d in data["results"]],
+        global_stats,
+        float(data.get("elapsed_seconds", 0.0)),
+    )
+
+
+def save_results(results: ResultSet, path) -> None:
+    """Write a result set to a JSON file."""
+    Path(path).write_text(
+        json.dumps(results_to_dict(results), indent=1, allow_nan=False)
+    )
+
+
+def load_results(path) -> ResultSet:
+    """Load a result set written by :func:`save_results`."""
+    return results_from_dict(json.loads(Path(path).read_text()))

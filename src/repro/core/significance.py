@@ -1,0 +1,97 @@
+"""Multiple-testing corrections for explored subgroups.
+
+An exploration evaluates thousands of subgroups, so raw Welch
+t-statistics overstate significance. This module converts the
+t-statistics of a :class:`ResultSet` into p-values (via the
+Welch–Satterthwaite degrees of freedom) and applies standard
+family-wise / false-discovery-rate corrections:
+
+- :func:`bonferroni` — conservative FWER control;
+- :func:`benjamini_hochberg` — FDR control, appropriate when many
+  subgroups are expected to be genuinely divergent.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.core.divergence import OutcomeStats, welch_degrees_of_freedom
+from repro.core.results import ResultSet, SubgroupResult
+
+
+def welch_p_value(subgroup: OutcomeStats, dataset: OutcomeStats) -> float:
+    """Two-sided p-value of the subgroup's Welch test vs the dataset."""
+    from repro.core.divergence import welch_t
+
+    t = welch_t(subgroup, dataset)
+    if math.isnan(t):
+        return float("nan")
+    if math.isinf(t):
+        return 0.0
+    df = welch_degrees_of_freedom(subgroup, dataset)
+    if math.isnan(df):
+        return float("nan")
+    return float(2.0 * scipy_stats.t.sf(t, df))
+
+
+def p_values_from_results(results: ResultSet) -> list[float]:
+    """Approximate two-sided p-values for every result in the set.
+
+    Uses each result's stored t statistic with the normal tail as the
+    large-sample approximation (the subgroup counts are recoverable but
+    per-subgroup variances are already folded into t).
+    """
+    out = []
+    for r in results:
+        if math.isnan(r.t):
+            out.append(float("nan"))
+        elif math.isinf(r.t):
+            out.append(0.0)
+        else:
+            out.append(float(2.0 * scipy_stats.norm.sf(abs(r.t))))
+    return out
+
+
+def bonferroni(
+    results: ResultSet, alpha: float = 0.05
+) -> list[SubgroupResult]:
+    """Results significant under Bonferroni FWER control at ``alpha``."""
+    if not 0.0 < alpha < 1.0:
+        raise ValueError("alpha must be in (0, 1)")
+    ps = p_values_from_results(results)
+    m = len(ps)
+    if m == 0:
+        return []
+    threshold = alpha / m
+    return [
+        r
+        for r, p in zip(results, ps)
+        if not math.isnan(p) and p <= threshold
+    ]
+
+
+def benjamini_hochberg(
+    results: ResultSet, alpha: float = 0.05
+) -> list[SubgroupResult]:
+    """Results kept by the Benjamini–Hochberg FDR procedure at ``alpha``.
+
+    NaN p-values (undersized subgroups) are never selected.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ValueError("alpha must be in (0, 1)")
+    ps = np.asarray(p_values_from_results(results))
+    valid = ~np.isnan(ps)
+    indices = np.nonzero(valid)[0]
+    if indices.size == 0:
+        return []
+    order = indices[np.argsort(ps[indices])]
+    m = indices.size
+    cutoff_rank = 0
+    for rank, idx in enumerate(order, start=1):
+        if ps[idx] <= alpha * rank / m:
+            cutoff_rank = rank
+    selected = set(order[:cutoff_rank])
+    return [r for i, r in enumerate(results) if i in selected]

@@ -1,0 +1,92 @@
+"""Common dataset container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.hierarchy import HierarchySet
+from repro.core.outcomes import (
+    Outcome,
+    error_rate,
+    false_positive_rate,
+    numeric_outcome,
+)
+from repro.tabular import Table
+
+
+@dataclass
+class Dataset:
+    """A dataset plus everything the explorers need to analyse it.
+
+    Attributes
+    ----------
+    name:
+        Short dataset identifier.
+    table:
+        The data, including any label/prediction columns.
+    outcome_kind:
+        Which outcome the paper analyses on this dataset:
+        ``"fpr"``, ``"error"``, or ``"numeric"``.
+    y_true, y_pred:
+        Label/prediction column names (classification datasets).
+    positive:
+        Positive class label for rate outcomes.
+    target_column:
+        Outcome column for numeric outcomes (e.g. income).
+    feature_names:
+        Attributes to explore (excludes label/prediction columns).
+    hierarchies:
+        Predefined hierarchies for categorical attributes.
+    description:
+        One-line provenance note.
+    """
+
+    name: str
+    table: Table
+    outcome_kind: str
+    feature_names: list[str]
+    y_true: str | None = None
+    y_pred: str | None = None
+    positive: str = "1"
+    target_column: str | None = None
+    hierarchies: HierarchySet = field(default_factory=HierarchySet)
+    description: str = ""
+
+    def outcome(self) -> Outcome:
+        """The outcome function the paper analyses on this dataset."""
+        if self.outcome_kind == "fpr":
+            if self.y_true is None or self.y_pred is None:
+                raise ValueError("fpr outcome needs y_true and y_pred")
+            return false_positive_rate(self.y_true, self.y_pred, self.positive)
+        if self.outcome_kind == "error":
+            if self.y_true is None or self.y_pred is None:
+                raise ValueError("error outcome needs y_true and y_pred")
+            return error_rate(self.y_true, self.y_pred)
+        if self.outcome_kind == "numeric":
+            if self.target_column is None:
+                raise ValueError("numeric outcome needs a target column")
+            return numeric_outcome(self.target_column)
+        raise ValueError(f"unknown outcome kind {self.outcome_kind!r}")
+
+    def features(self) -> Table:
+        """The explorable attributes only."""
+        return self.table.project(self.feature_names)
+
+    @property
+    def continuous_features(self) -> list[str]:
+        return [
+            n for n in self.feature_names if n in self.table.continuous_names
+        ]
+
+    @property
+    def categorical_features(self) -> list[str]:
+        return [
+            n for n in self.feature_names if n in self.table.categorical_names
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset({self.name!r}, rows={self.table.n_rows}, "
+            f"num={len(self.continuous_features)}, "
+            f"cat={len(self.categorical_features)})"
+        )

@@ -1,0 +1,134 @@
+"""Dataset perturbation utilities for robustness experiments.
+
+Controlled corruption of a :class:`repro.tabular.Table` (and outcome
+arrays): missing-value injection, categorical value noise, bootstrap
+resampling, and targeted subgroup drift. Used by the stability
+experiments and by failure-injection tests — a production subgroup
+pipeline has to behave sensibly on dirty data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.items import Itemset
+from repro.tabular import (
+    CategoricalColumn,
+    ContinuousColumn,
+    Table,
+)
+
+
+def inject_missing(
+    table: Table,
+    fraction: float,
+    rng: np.random.Generator,
+    columns: list[str] | None = None,
+) -> Table:
+    """Blank out a random ``fraction`` of cells per selected column."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    if columns is None:
+        columns = table.column_names
+    out = table
+    for name in columns:
+        col = table[name]
+        mask = rng.uniform(size=table.n_rows) < fraction
+        if isinstance(col, ContinuousColumn):
+            values = col.values.copy()
+            values[mask] = np.nan
+            out = out.with_column(ContinuousColumn(name, values))
+        elif isinstance(col, CategoricalColumn):
+            codes = col.codes.copy()
+            codes[mask] = -1
+            out = out.with_column(
+                CategoricalColumn(name, codes, col.categories)
+            )
+    return out
+
+
+def flip_categories(
+    table: Table,
+    column: str,
+    fraction: float,
+    rng: np.random.Generator,
+) -> Table:
+    """Replace a ``fraction`` of a categorical column with random values."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    col = table.categorical(column)
+    if not col.categories:
+        return table
+    codes = col.codes.copy()
+    mask = (rng.uniform(size=table.n_rows) < fraction) & (codes >= 0)
+    codes[mask] = rng.integers(0, len(col.categories), size=int(mask.sum()))
+    return table.with_column(
+        CategoricalColumn(column, codes, col.categories)
+    )
+
+
+def jitter_continuous(
+    table: Table,
+    column: str,
+    relative_sigma: float,
+    rng: np.random.Generator,
+) -> Table:
+    """Add gaussian noise scaled to the column's standard deviation."""
+    if relative_sigma < 0:
+        raise ValueError("relative_sigma must be non-negative")
+    col = table.continuous(column)
+    values = col.values.copy()
+    finite = ~np.isnan(values)
+    sigma = float(np.std(values[finite])) if finite.any() else 0.0
+    values[finite] += rng.normal(0, relative_sigma * sigma, int(finite.sum()))
+    return table.with_column(ContinuousColumn(column, values))
+
+
+def bootstrap(
+    table: Table,
+    outcomes: np.ndarray,
+    rng: np.random.Generator,
+    n_rows: int | None = None,
+) -> tuple[Table, np.ndarray]:
+    """Sample rows with replacement (table and outcome stay aligned)."""
+    n = n_rows or table.n_rows
+    idx = rng.integers(0, table.n_rows, size=n)
+    return table.take(idx), np.asarray(outcomes, dtype=float)[idx]
+
+
+def shift_subgroup_outcome(
+    outcomes: np.ndarray,
+    table: Table,
+    itemset: Itemset,
+    delta: float,
+) -> np.ndarray:
+    """Shift the outcome of every instance in a subgroup by ``delta``.
+
+    For boolean outcomes use :func:`flip_subgroup_outcome` instead.
+    Returns a new array; NaN (⊥) entries stay NaN.
+    """
+    out = np.asarray(outcomes, dtype=float).copy()
+    mask = itemset.mask(table) & ~np.isnan(out)
+    out[mask] += delta
+    return out
+
+
+def flip_subgroup_outcome(
+    outcomes: np.ndarray,
+    table: Table,
+    itemset: Itemset,
+    probability: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Flip a boolean outcome inside a subgroup with some probability.
+
+    Plants (or dilutes) an anomaly in a specific region — the primitive
+    behind controlled-injection robustness experiments.
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+    out = np.asarray(outcomes, dtype=float).copy()
+    mask = itemset.mask(table) & ~np.isnan(out)
+    flips = mask & (rng.uniform(size=out.size) < probability)
+    out[flips] = 1.0 - out[flips]
+    return out

@@ -1,0 +1,46 @@
+"""Dataset registry: name-based lookup for experiment harnesses."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.datasets.base import Dataset
+
+
+def _loaders() -> dict[str, Callable[..., Dataset]]:
+    from repro.datasets.compas import compas
+    from repro.datasets.folktables import folktables
+    from repro.datasets.synthetic_peak import synthetic_peak
+    from repro.datasets.uci import adult, bank, german, intentions, wine
+
+    return {
+        "adult": adult,
+        "bank": bank,
+        "compas": compas,
+        "folktables": folktables,
+        "german": german,
+        "intentions": intentions,
+        "synthetic-peak": synthetic_peak,
+        "wine": wine,
+    }
+
+
+def dataset_names() -> list[str]:
+    """All registered dataset names, in Table II order."""
+    return sorted(_loaders())
+
+
+def load_dataset(name: str, **kwargs) -> Dataset:
+    """Load a dataset by name; kwargs pass to the generator.
+
+    Common kwargs: ``n_rows`` (scale), ``seed``, and for the UCI-style
+    datasets ``fit_predictions``.
+    """
+    loaders = _loaders()
+    try:
+        loader = loaders[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(loaders)}"
+        ) from None
+    return loader(**kwargs)

@@ -1,0 +1,67 @@
+"""The synthetic-peak dataset — exact rebuild of the paper's generator.
+
+From Section VI-A: 10,000 points uniform in [−5, 5]³ (attributes a, b,
+c); a fair-coin class label; predictions equal to the label, flipped
+with probability given by the *normalized* multivariate normal density
+with mean (0, 1, 2) and identity covariance — normalized so the peak
+flip probability is 1 at the anomaly centre.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.tabular import Table
+
+PEAK_MEAN = np.array([0.0, 1.0, 2.0])
+
+
+def peak_flip_probability(points: np.ndarray) -> np.ndarray:
+    """The normalized gaussian flip probability at each point.
+
+    ``exp(−‖x − μ‖² / 2)`` with μ = (0, 1, 2): the multivariate normal
+    density with identity covariance scaled to 1 at its mode.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    sq = np.sum((points - PEAK_MEAN) ** 2, axis=-1)
+    return np.exp(-0.5 * sq)
+
+
+def synthetic_peak(n_rows: int = 10_000, seed: int = 42) -> Dataset:
+    """Generate the synthetic-peak dataset.
+
+    Parameters
+    ----------
+    n_rows:
+        Number of points (paper: 10,000).
+    seed:
+        Generator seed; the same seed reproduces the same dataset.
+    """
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(-5.0, 5.0, size=(n_rows, 3))
+    labels = rng.integers(0, 2, size=n_rows)
+    flip = rng.uniform(size=n_rows) < peak_flip_probability(points)
+    predictions = np.where(flip, 1 - labels, labels)
+
+    table = Table(
+        {
+            "a": points[:, 0],
+            "b": points[:, 1],
+            "c": points[:, 2],
+            "class": [str(v) for v in labels],
+            "pred": [str(v) for v in predictions],
+        }
+    )
+    return Dataset(
+        name="synthetic-peak",
+        table=table,
+        outcome_kind="error",
+        feature_names=["a", "b", "c"],
+        y_true="class",
+        y_pred="pred",
+        description=(
+            "10k uniform points in [-5,5]^3 with a gaussian error peak "
+            "at (0,1,2); exact rebuild of the paper's generator"
+        ),
+    )

@@ -1,0 +1,492 @@
+"""Synthetic stand-ins for the five UCI datasets of Table II.
+
+Each generator matches the original's shape (row count, number of
+numeric and categorical attributes) and plants classification-noise
+pockets: the ground-truth label follows a deterministic base rule,
+flipped with a feature-dependent probability that is elevated inside
+specific regions. A classifier learns the base rule and errs where the
+noise is — so the error-rate explorers find exactly those regions.
+
+Predictions are produced either by a small random forest trained on the
+generated data (``fit_predictions=True``; slower, fully exercises the
+ML substrate) or by the synthetic model (base rule plus a small uniform
+error), which yields the same anomaly structure at generation speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.ml import RandomForestClassifier, TableEncoder, train_test_split
+from repro.tabular import Table
+
+_MODEL_BASE_ERROR = 0.03
+
+
+def _finish(
+    name: str,
+    columns: dict,
+    feature_names: list[str],
+    base: np.ndarray,
+    noise: np.ndarray,
+    rng: np.random.Generator,
+    fit_predictions: bool,
+    description: str,
+) -> Dataset:
+    """Attach labels/predictions and wrap everything as a Dataset."""
+    n = base.size
+    flip = rng.uniform(size=n) < noise
+    y = np.where(flip, ~base, base)
+    columns = dict(columns)
+    columns["label"] = [str(int(v)) for v in y]
+    table = Table(columns)
+
+    if fit_predictions:
+        pred = _forest_predictions(table, feature_names, y.astype(int), rng)
+    else:
+        model_flip = rng.uniform(size=n) < _MODEL_BASE_ERROR
+        pred = np.where(model_flip, ~base, base).astype(int)
+    table = table.with_values("pred", [str(int(v)) for v in pred])
+
+    return Dataset(
+        name=name,
+        table=table,
+        outcome_kind="error",
+        feature_names=feature_names,
+        y_true="label",
+        y_pred="pred",
+        description=description,
+    )
+
+
+def _forest_predictions(
+    table: Table,
+    feature_names: list[str],
+    y: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Train a forest on a 70% split, predict every row."""
+    encoder = TableEncoder(feature_names)
+    X = encoder.fit_transform(table)
+    train, _test, train_idx, _test_idx = train_test_split(
+        table, test_size=0.3, seed=int(rng.integers(0, 2**31))
+    )
+    forest = RandomForestClassifier(
+        n_estimators=15, max_depth=12, seed=int(rng.integers(0, 2**31))
+    )
+    forest.fit(X[train_idx], y[train_idx])
+    return forest.predict(X)
+
+
+def _categorical(
+    rng: np.random.Generator, n: int, values: list[str], probs=None
+) -> np.ndarray:
+    return rng.choice(values, size=n, p=probs)
+
+
+# ---------------------------------------------------------------------------
+# adult: 45,222 rows; 4 numeric, 7 categorical; income > 50k task.
+# ---------------------------------------------------------------------------
+
+def adult(
+    n_rows: int = 45_222, seed: int = 21, fit_predictions: bool = False
+) -> Dataset:
+    """Synthetic adult-census-like dataset.
+
+    Noise pocket: self-employed workers in their 40s with high
+    capital gains are hard to classify (error ≈ 8× base).
+    """
+    rng = np.random.default_rng(seed)
+    n = n_rows
+    age = np.floor(np.clip(rng.gamma(7.0, 5.6, n), 17, 90))
+    education_num = np.clip(np.round(rng.normal(10.0, 2.6, n)), 1, 16)
+    capital_gain = np.where(
+        rng.uniform(size=n) < 0.08, rng.lognormal(8.0, 1.2, n), 0.0
+    )
+    hours = np.floor(np.clip(rng.normal(40.0, 11.0, n), 1, 99))
+
+    workclass = _categorical(
+        rng, n,
+        ["Private", "Self-emp", "Government", "Other"],
+        [0.70, 0.11, 0.13, 0.06],
+    )
+    education = _categorical(
+        rng, n,
+        ["HS-grad", "Some-college", "Bachelors", "Masters", "Doctorate",
+         "Assoc", "Dropout"],
+        [0.32, 0.22, 0.17, 0.06, 0.01, 0.08, 0.14],
+    )
+    marital = _categorical(
+        rng, n,
+        ["Married", "Never-married", "Divorced", "Widowed"],
+        [0.47, 0.33, 0.14, 0.06],
+    )
+    occupation = _categorical(
+        rng, n,
+        ["Prof-specialty", "Exec-managerial", "Craft-repair", "Sales",
+         "Adm-clerical", "Other-service"],
+        [0.18, 0.17, 0.17, 0.15, 0.15, 0.18],
+    )
+    relationship = _categorical(
+        rng, n,
+        ["Husband", "Wife", "Not-in-family", "Own-child", "Unmarried"],
+        [0.40, 0.10, 0.26, 0.14, 0.10],
+    )
+    race = _categorical(
+        rng, n,
+        ["White", "Black", "Asian-Pac", "Other"],
+        [0.85, 0.09, 0.04, 0.02],
+    )
+    sex = _categorical(rng, n, ["Male", "Female"], [0.67, 0.33])
+
+    score = (
+        0.22 * (education_num - 10.0)
+        + 0.035 * (age - 38.0)
+        - 0.0007 * np.maximum(age - 58.0, 0.0) ** 2
+        + 0.02 * (hours - 40.0)
+        + 0.9 * (marital == "Married")
+        + 0.5 * (occupation == "Exec-managerial")
+        + 0.4 * (occupation == "Prof-specialty")
+        + 0.3 * (sex == "Male")
+        + 0.9 * (capital_gain > 5_000.0)
+        - 0.8
+    )
+    base = score > 0.0
+    noise = 0.05 + 0.38 * (
+        (workclass == "Self-emp") & (age > 40.0) & (age <= 55.0)
+        & (capital_gain > 0.0)
+    )
+    columns = {
+        "age": age,
+        "education_num": education_num,
+        "capital_gain": capital_gain,
+        "hours_per_week": hours,
+        "workclass": workclass,
+        "education": education,
+        "marital_status": marital,
+        "occupation": occupation,
+        "relationship": relationship,
+        "race": race,
+        "sex": sex,
+    }
+    return _finish(
+        "adult", columns, list(columns), base, noise, rng, fit_predictions,
+        "synthetic census-income data; error pocket in middle-aged "
+        "self-employed earners with capital gains",
+    )
+
+
+# ---------------------------------------------------------------------------
+# bank (full): 45,211 rows; 7 numeric, 8 categorical; term-deposit task.
+# ---------------------------------------------------------------------------
+
+def bank(
+    n_rows: int = 45_211, seed: int = 22, fit_predictions: bool = False
+) -> Dataset:
+    """Synthetic bank-marketing-like dataset.
+
+    The month is numeric (1–12), as the paper treats it. Noise pocket:
+    long calls late in the year to clients with housing loans.
+    """
+    rng = np.random.default_rng(seed)
+    n = n_rows
+    age = np.floor(np.clip(rng.gamma(9.0, 4.6, n), 18, 95))
+    balance = rng.normal(1_300.0, 3_000.0, n)
+    day = np.floor(rng.uniform(1, 32, n))
+    month = np.floor(rng.uniform(1, 13, n))
+    duration = np.floor(rng.lognormal(5.0, 0.9, n))
+    campaign = np.minimum(rng.geometric(0.4, n), 30).astype(float)
+    pdays = np.where(rng.uniform(size=n) < 0.75, -1.0, rng.uniform(1, 400, n))
+
+    job = _categorical(
+        rng, n,
+        ["blue-collar", "management", "technician", "admin", "services",
+         "retired", "self-employed", "student"],
+        [0.22, 0.21, 0.17, 0.11, 0.09, 0.08, 0.06, 0.06],
+    )
+    marital = _categorical(
+        rng, n, ["married", "single", "divorced"], [0.60, 0.28, 0.12]
+    )
+    education = _categorical(
+        rng, n, ["secondary", "tertiary", "primary", "unknown"],
+        [0.51, 0.29, 0.15, 0.05],
+    )
+    default = _categorical(rng, n, ["no", "yes"], [0.98, 0.02])
+    housing = _categorical(rng, n, ["yes", "no"], [0.56, 0.44])
+    loan = _categorical(rng, n, ["no", "yes"], [0.84, 0.16])
+    contact = _categorical(
+        rng, n, ["cellular", "unknown", "telephone"], [0.65, 0.29, 0.06]
+    )
+    poutcome = _categorical(
+        rng, n, ["unknown", "failure", "success", "other"],
+        [0.82, 0.11, 0.03, 0.04],
+    )
+
+    score = (
+        0.004 * (duration - 250.0)
+        + 0.8 * (poutcome == "success")
+        + 0.3 * (job == "retired")
+        + 0.25 * (job == "student")
+        - 0.25 * (housing == "yes")
+        - 0.15 * (loan == "yes")
+        + 0.0001 * (balance - 1_300.0)
+        - 0.55
+    )
+    base = score > 0.0
+    noise = 0.05 + 0.40 * (
+        (duration > 400.0) & (month >= 10.0) & (housing == "yes")
+    )
+    columns = {
+        "age": age,
+        "balance": balance,
+        "day": day,
+        "month": month,
+        "duration": duration,
+        "campaign": campaign,
+        "pdays": pdays,
+        "job": job,
+        "marital": marital,
+        "education": education,
+        "default": default,
+        "housing": housing,
+        "loan": loan,
+        "contact": contact,
+        "poutcome": poutcome,
+    }
+    return _finish(
+        "bank", columns, list(columns), base, noise, rng, fit_predictions,
+        "synthetic bank-marketing data; error pocket in long late-year "
+        "calls to housing-loan clients",
+    )
+
+
+# ---------------------------------------------------------------------------
+# german: 1,000 rows; 7 numeric, 14 categorical; credit-risk task.
+# ---------------------------------------------------------------------------
+
+def german(
+    n_rows: int = 1_000, seed: int = 23, fit_predictions: bool = False
+) -> Dataset:
+    """Synthetic german-credit-like dataset.
+
+    Noise pocket: young applicants with large credit amounts.
+    """
+    rng = np.random.default_rng(seed)
+    n = n_rows
+    duration = np.floor(np.clip(rng.gamma(3.0, 7.0, n), 4, 72))
+    credit_amount = np.floor(rng.lognormal(7.9, 0.8, n))
+    installment_rate = np.floor(rng.uniform(1, 5, n))
+    residence_since = np.floor(rng.uniform(1, 5, n))
+    age = np.floor(np.clip(rng.gamma(6.0, 6.0, n), 19, 75))
+    existing_credits = np.minimum(rng.geometric(0.6, n), 4).astype(float)
+    num_dependents = np.where(rng.uniform(size=n) < 0.85, 1.0, 2.0)
+
+    cats: dict[str, np.ndarray] = {}
+    cat_specs = {
+        "checking_status": (["<0", "0-200", ">=200", "none"],
+                            [0.27, 0.27, 0.06, 0.40]),
+        "credit_history": (["critical", "paid", "delayed", "all-paid"],
+                           [0.29, 0.53, 0.09, 0.09]),
+        "purpose": (["radio/tv", "new-car", "furniture", "used-car",
+                     "business", "education"],
+                    [0.28, 0.23, 0.18, 0.11, 0.10, 0.10]),
+        "savings": (["<100", "100-500", "500-1000", ">=1000", "unknown"],
+                    [0.60, 0.10, 0.06, 0.05, 0.19]),
+        "employment": (["<1y", "1-4y", "4-7y", ">=7y", "unemployed"],
+                       [0.17, 0.34, 0.17, 0.25, 0.07]),
+        "personal_status": (["male-single", "female", "male-married",
+                             "male-divorced"],
+                            [0.55, 0.31, 0.09, 0.05]),
+        "other_parties": (["none", "guarantor", "co-applicant"],
+                          [0.91, 0.05, 0.04]),
+        "property": (["real-estate", "life-insurance", "car", "unknown"],
+                     [0.28, 0.23, 0.33, 0.16]),
+        "other_payment_plans": (["none", "bank", "stores"],
+                                [0.81, 0.14, 0.05]),
+        "housing": (["own", "rent", "free"], [0.71, 0.18, 0.11]),
+        "job": (["skilled", "unskilled", "management", "unemployed"],
+                [0.63, 0.20, 0.15, 0.02]),
+        "telephone": (["none", "yes"], [0.60, 0.40]),
+        "foreign_worker": (["yes", "no"], [0.96, 0.04]),
+        "own_residence": (["yes", "no"], [0.70, 0.30]),
+    }
+    for name, (values, probs) in cat_specs.items():
+        cats[name] = _categorical(rng, n, values, probs)
+
+    score = (
+        -0.02 * (duration - 21.0)
+        - 0.00012 * (credit_amount - 3_000.0)
+        + 0.015 * (age - 35.0)
+        + 0.7 * (cats["checking_status"] == "none")
+        + 0.5 * (cats["credit_history"] == "critical")
+        - 0.4 * (cats["savings"] == "<100")
+        + 0.4 * (cats["employment"] == ">=7y")
+        + 0.55
+    )
+    base = score > 0.0
+    noise = 0.08 + 0.35 * ((age <= 28.0) & (credit_amount > 4_000.0))
+    columns = {
+        "duration": duration,
+        "credit_amount": credit_amount,
+        "installment_rate": installment_rate,
+        "residence_since": residence_since,
+        "age": age,
+        "existing_credits": existing_credits,
+        "num_dependents": num_dependents,
+        **cats,
+    }
+    return _finish(
+        "german", columns, list(columns), base, noise, rng, fit_predictions,
+        "synthetic credit-risk data; error pocket in young applicants "
+        "with large credit amounts",
+    )
+
+
+# ---------------------------------------------------------------------------
+# intentions: 12,330 rows; 11 numeric, 6 categorical; purchase task.
+# ---------------------------------------------------------------------------
+
+def intentions(
+    n_rows: int = 12_330, seed: int = 24, fit_predictions: bool = False
+) -> Dataset:
+    """Synthetic online-shoppers-intentions-like dataset.
+
+    The month is numeric, as the paper treats it. Noise pocket:
+    high-bounce November/December sessions of returning visitors.
+    """
+    rng = np.random.default_rng(seed)
+    n = n_rows
+    administrative = np.floor(np.minimum(rng.gamma(1.2, 2.0, n), 27))
+    administrative_duration = rng.lognormal(3.0, 1.3, n) * (administrative > 0)
+    informational = np.floor(np.minimum(rng.gamma(0.6, 0.9, n), 24))
+    informational_duration = rng.lognormal(2.5, 1.4, n) * (informational > 0)
+    product_related = np.floor(np.clip(rng.lognormal(3.0, 1.0, n), 0, 700))
+    product_related_duration = product_related * rng.lognormal(3.4, 0.7, n)
+    bounce_rates = np.clip(rng.beta(1.1, 30.0, n), 0.0, 0.2)
+    exit_rates = np.clip(bounce_rates + rng.beta(1.4, 25.0, n), 0.0, 0.2)
+    page_values = np.where(
+        rng.uniform(size=n) < 0.22, rng.lognormal(2.6, 1.0, n), 0.0
+    )
+    special_day = rng.choice(
+        [0.0, 0.2, 0.4, 0.6, 0.8, 1.0], size=n,
+        p=[0.90, 0.02, 0.02, 0.02, 0.02, 0.02],
+    )
+    month = np.floor(rng.uniform(1, 13, n))
+
+    operating_systems = _categorical(
+        rng, n, ["win", "mac", "linux", "other"], [0.53, 0.27, 0.12, 0.08]
+    )
+    browser = _categorical(
+        rng, n, ["chrome", "firefox", "safari", "edge", "other"],
+        [0.60, 0.15, 0.12, 0.08, 0.05],
+    )
+    region = _categorical(
+        rng, n, [f"region-{i}" for i in range(1, 10)],
+        [0.31, 0.09, 0.19, 0.10, 0.05, 0.07, 0.06, 0.04, 0.09],
+    )
+    traffic_type = _categorical(
+        rng, n, [f"traffic-{i}" for i in range(1, 9)],
+        [0.20, 0.32, 0.17, 0.09, 0.05, 0.04, 0.08, 0.05],
+    )
+    visitor_type = _categorical(
+        rng, n, ["returning", "new", "other"], [0.86, 0.13, 0.01]
+    )
+    weekend = _categorical(rng, n, ["False", "True"], [0.77, 0.23])
+
+    score = (
+        0.09 * np.log1p(page_values)
+        - 9.0 * exit_rates
+        + 0.15 * np.log1p(product_related)
+        + 0.1 * (month >= 10.0)
+        - 1.05
+    )
+    base = score > 0.0
+    noise = 0.06 + 0.38 * (
+        (month >= 11.0) & (bounce_rates > 0.02) & (visitor_type == "returning")
+    )
+    columns = {
+        "administrative": administrative,
+        "administrative_duration": administrative_duration,
+        "informational": informational,
+        "informational_duration": informational_duration,
+        "product_related": product_related,
+        "product_related_duration": product_related_duration,
+        "bounce_rates": bounce_rates,
+        "exit_rates": exit_rates,
+        "page_values": page_values,
+        "special_day": special_day,
+        "month": month,
+        "operating_systems": operating_systems,
+        "browser": browser,
+        "region": region,
+        "traffic_type": traffic_type,
+        "visitor_type": visitor_type,
+        "weekend": weekend,
+    }
+    return _finish(
+        "intentions", columns, list(columns), base, noise, rng,
+        fit_predictions,
+        "synthetic online-shopper data; error pocket in high-bounce "
+        "holiday-season sessions of returning visitors",
+    )
+
+
+# ---------------------------------------------------------------------------
+# wine: 9,796 rows; 11 numeric, 0 categorical; quality > 5 task.
+# ---------------------------------------------------------------------------
+
+def wine(
+    n_rows: int = 9_796, seed: int = 25, fit_predictions: bool = False
+) -> Dataset:
+    """Synthetic wine-quality-like dataset (all-numeric).
+
+    Noise pocket: high volatile acidity combined with low alcohol and
+    high sulphur — a region where quality is genuinely ambiguous.
+    """
+    rng = np.random.default_rng(seed)
+    n = n_rows
+    fixed_acidity = np.clip(rng.normal(7.2, 1.3, n), 3.8, 15.9)
+    volatile_acidity = np.clip(rng.gamma(4.0, 0.085, n), 0.08, 1.58)
+    citric_acid = np.clip(rng.normal(0.32, 0.15, n), 0.0, 1.66)
+    residual_sugar = np.clip(rng.lognormal(1.1, 0.9, n), 0.6, 65.8)
+    chlorides = np.clip(rng.gamma(3.0, 0.019, n), 0.009, 0.61)
+    free_so2 = np.clip(rng.gamma(3.2, 9.5, n), 1, 289)
+    total_so2 = free_so2 + np.clip(rng.gamma(3.0, 28.0, n), 0, 350)
+    density = np.clip(
+        0.992 + 0.0004 * residual_sugar + rng.normal(0, 0.0015, n),
+        0.987, 1.039,
+    )
+    ph = np.clip(rng.normal(3.22, 0.16, n), 2.72, 4.01)
+    sulphates = np.clip(rng.gamma(9.0, 0.059, n), 0.22, 2.0)
+    alcohol = np.clip(rng.gamma(22.0, 0.48, n), 8.0, 14.9)
+
+    score = (
+        0.85 * (alcohol - 10.4)
+        - 3.0 * (volatile_acidity - 0.34)
+        + 1.6 * (sulphates - 0.53)
+        - 0.004 * (total_so2 - 115.0)
+        + 0.25
+    )
+    base = score > 0.0
+    noise = 0.07 + 0.33 * (
+        (volatile_acidity > 0.5) & (alcohol < 10.5) & (total_so2 > 120.0)
+    )
+    columns = {
+        "fixed_acidity": fixed_acidity,
+        "volatile_acidity": volatile_acidity,
+        "citric_acid": citric_acid,
+        "residual_sugar": residual_sugar,
+        "chlorides": chlorides,
+        "free_sulfur_dioxide": free_so2,
+        "total_sulfur_dioxide": total_so2,
+        "density": density,
+        "pH": ph,
+        "sulphates": sulphates,
+        "alcohol": alcohol,
+    }
+    return _finish(
+        "wine", columns, list(columns), base, noise, rng, fit_predictions,
+        "synthetic wine-quality data; error pocket in acidic low-alcohol "
+        "high-sulphur wines",
+    )

@@ -1,0 +1,27 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+Each function in :mod:`repro.experiments.figures` and
+:mod:`repro.experiments.tables_paper` produces the rows/series of one
+paper artifact; the ``benchmarks/`` directory wraps them in
+pytest-benchmark targets. See DESIGN.md for the per-experiment index.
+"""
+
+from repro.experiments.harness import (
+    BENCH_SIZES,
+    ExperimentContext,
+    load_context,
+    run_base,
+    run_hierarchical,
+    run_manual,
+)
+from repro.experiments.tables import render_table
+
+__all__ = [
+    "BENCH_SIZES",
+    "ExperimentContext",
+    "load_context",
+    "render_table",
+    "run_base",
+    "run_hierarchical",
+    "run_manual",
+]

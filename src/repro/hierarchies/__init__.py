@@ -1,0 +1,23 @@
+"""Predefined hierarchies for categorical attributes (Section IV-B).
+
+Three ways of obtaining an item hierarchy for a categorical attribute:
+
+- :func:`taxonomy_hierarchy` — from an explicit child→parent mapping
+  (user-defined taxonomies such as occupation supercategories);
+- :func:`prefix_hierarchy` — from structural prefixes of the values
+  themselves (IP address bytes, geographic paths, product codes);
+- :func:`fd_hierarchies` — discovered from functional dependencies
+  between categorical attributes (TANE-style, restricted to exact
+  single-attribute FDs).
+"""
+
+from repro.hierarchies.fd import fd_hierarchies, find_functional_dependencies
+from repro.hierarchies.prefix import prefix_hierarchy
+from repro.hierarchies.taxonomy import taxonomy_hierarchy
+
+__all__ = [
+    "fd_hierarchies",
+    "find_functional_dependencies",
+    "prefix_hierarchy",
+    "taxonomy_hierarchy",
+]

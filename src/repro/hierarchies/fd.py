@@ -1,0 +1,134 @@
+"""Hierarchies discovered from functional dependencies (TANE-style).
+
+If a categorical attribute ``A`` functionally determines another
+categorical attribute ``B`` (every value of ``A`` co-occurs with a
+single value of ``B``) and ``B`` is strictly coarser, then ``B``'s
+values group ``A``'s values into a hierarchy level — e.g.
+``city → state → country``. This module discovers exact
+single-attribute FDs by scanning value pairs and assembles the
+resulting multi-level hierarchies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.hierarchy import ItemHierarchy
+from repro.hierarchies.taxonomy import taxonomy_hierarchy
+from repro.tabular import Table
+
+
+def find_functional_dependencies(
+    table: Table,
+    attributes: Iterable[str] | None = None,
+) -> list[tuple[str, str]]:
+    """Find exact FDs ``A → B`` between categorical attributes.
+
+    Only dependencies where ``B`` has strictly fewer distinct values
+    than ``A`` are reported (equal-cardinality FDs are renamings, not
+    hierarchy levels). Rows missing either value are ignored.
+    """
+    if attributes is None:
+        attributes = table.categorical_names
+    attributes = list(attributes)
+    fds: list[tuple[str, str]] = []
+    decoded = {a: table[a].to_list() for a in attributes}
+    domains = {
+        a: len({v for v in decoded[a] if v is not None}) for a in attributes
+    }
+    for a in attributes:
+        for b in attributes:
+            if a == b or domains[b] >= domains[a]:
+                continue
+            if _determines(decoded[a], decoded[b]):
+                fds.append((a, b))
+    return fds
+
+
+def _determines(lhs: list, rhs: list) -> bool:
+    mapping: dict = {}
+    for x, y in zip(lhs, rhs):
+        if x is None or y is None:
+            continue
+        seen = mapping.get(x)
+        if seen is None:
+            mapping[x] = y
+        elif seen != y:
+            return False
+    return True
+
+
+def fd_mapping(table: Table, determinant: str, dependent: str) -> dict[str, str]:
+    """The value mapping realised by an FD ``determinant → dependent``.
+
+    Raises
+    ------
+    ValueError
+        If the dependency does not actually hold on ``table``.
+    """
+    lhs = table[determinant].to_list()
+    rhs = table[dependent].to_list()
+    mapping: dict[str, str] = {}
+    for x, y in zip(lhs, rhs):
+        if x is None or y is None:
+            continue
+        seen = mapping.get(x)
+        if seen is None:
+            mapping[x] = y
+        elif seen != y:
+            raise ValueError(
+                f"{determinant!r} does not functionally determine {dependent!r}"
+            )
+    return mapping
+
+
+def fd_hierarchies(
+    table: Table,
+    attributes: Iterable[str] | None = None,
+) -> dict[str, ItemHierarchy]:
+    """Build hierarchies for attributes that have coarser FD partners.
+
+    For each attribute ``A`` with dependencies ``A → B1 → B2 → …``, the
+    dependent attributes become grouping levels, finest first. Group
+    labels are rendered as ``"B=value"`` so different levels cannot
+    collide. Returns ``{attribute: hierarchy}`` only for attributes
+    with at least one usable level.
+    """
+    if attributes is None:
+        attributes = table.categorical_names
+    attributes = list(attributes)
+    fds = find_functional_dependencies(table, attributes)
+    determined: dict[str, list[str]] = {}
+    for a, b in fds:
+        determined.setdefault(a, []).append(b)
+
+    decoded_domain = {
+        a: sorted(
+            {v for v in table[a].to_list() if v is not None}
+        )
+        for a in attributes
+    }
+    out: dict[str, ItemHierarchy] = {}
+    fd_set = set(fds)
+    for a, partners in determined.items():
+        # Chain levels: finest (largest domain) first; keep only
+        # partners forming a chain under the FD relation so that group
+        # levels nest properly.
+        partners = sorted(partners, key=lambda b: -len(decoded_domain[b]))
+        chain = []
+        for b in partners:
+            if all((prev, b) in fd_set for prev in chain):
+                chain.append(b)
+        if not chain:
+            continue
+        parent_of: dict[str, str] = {}
+        # Leaves → first level.
+        first = chain[0]
+        for value, group in fd_mapping(table, a, first).items():
+            parent_of[value] = f"{first}={group}"
+        # Level i → level i+1.
+        for fine, coarse in zip(chain[:-1], chain[1:]):
+            for value, group in fd_mapping(table, fine, coarse).items():
+                parent_of[f"{fine}={value}"] = f"{coarse}={group}"
+        out[a] = taxonomy_hierarchy(a, decoded_domain[a], parent_of)
+    return out

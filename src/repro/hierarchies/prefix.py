@@ -1,0 +1,58 @@
+"""Item hierarchies from structural prefixes of category values.
+
+Values such as IP addresses (``118.114.119.88``) or geographic paths
+(``NA/US/CA``) encode their own hierarchy: truncating at each separator
+yields ever more general groups. This mirrors the paper's IP-address
+example, where an address belongs to the items for each of its byte
+prefixes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.hierarchy import ItemHierarchy
+from repro.hierarchies.taxonomy import taxonomy_hierarchy
+
+
+def prefix_hierarchy(
+    attribute: str,
+    leaf_values: Iterable[str],
+    separator: str = ".",
+    max_levels: int | None = None,
+) -> ItemHierarchy:
+    """Build an item hierarchy by truncating values at ``separator``.
+
+    Parameters
+    ----------
+    attribute:
+        The categorical attribute.
+    leaf_values:
+        The actual category labels, e.g. IP addresses.
+    separator:
+        Separator defining the prefix structure.
+    max_levels:
+        Keep at most this many prefix levels above the leaves
+        (None = all). ``max_levels=1`` keeps only the first component.
+
+    Notes
+    -----
+    Internally delegates to :func:`taxonomy_hierarchy` with the parent
+    map ``"a.b.c" → "a.b" → "a"``. Prefix groups that cover the same
+    values as their only child collapse into one item.
+    """
+    leaves = sorted(set(str(v) for v in leaf_values))
+    parent_of: dict[str, str] = {}
+    for value in leaves:
+        parts = value.split(separator)
+        if max_levels is not None:
+            parts = parts[: max_levels + 1] if len(parts) > max_levels else parts
+        child = value
+        # Walk from the full value up through each proper prefix.
+        for cut in range(len(parts) - 1, 0, -1):
+            parent = separator.join(parts[:cut])
+            if parent == child:
+                continue
+            parent_of[child] = parent
+            child = parent
+    return taxonomy_hierarchy(attribute, leaves, parent_of)

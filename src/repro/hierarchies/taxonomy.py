@@ -1,0 +1,113 @@
+"""Item hierarchies from explicit taxonomies.
+
+A taxonomy maps each category label to its parent group label (possibly
+through several levels). Leaf items are plain ``A = a`` items; internal
+items are generalized items ``A ∈ {…}`` labelled with the group name.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.hierarchy import ItemHierarchy
+from repro.core.items import CategoricalItem, Item
+
+ROOT_LABEL = "*"
+
+
+def taxonomy_hierarchy(
+    attribute: str,
+    leaf_values: Iterable[str],
+    parent_of: Mapping[str, str],
+    root_label: str = ROOT_LABEL,
+) -> ItemHierarchy:
+    """Build an item hierarchy from a child→parent label mapping.
+
+    Parameters
+    ----------
+    attribute:
+        The categorical attribute.
+    leaf_values:
+        The attribute's actual category labels (the taxonomy leaves).
+    parent_of:
+        Maps a label (leaf or internal) to its parent group label.
+        Labels missing from the mapping hang directly off the root.
+        Chains may be multiple levels deep (``a → MGR → WHITE-COLLAR``).
+    root_label:
+        Display label of the synthetic root item.
+
+    Notes
+    -----
+    Items are identified by their value *set*, so a group covering
+    exactly the same values as its parent (e.g. a single-child chain)
+    is collapsed into the parent. Groups with zero members are dropped.
+    Cycles raise ``ValueError``.
+    """
+    leaves = sorted(set(str(v) for v in leaf_values))
+    if not leaves:
+        raise ValueError("taxonomy needs at least one leaf value")
+
+    # Resolve each label's chain of ancestors up to the root.
+    def chain(label: str) -> list[str]:
+        seen = [label]
+        while label in parent_of:
+            label = parent_of[label]
+            if label in seen:
+                raise ValueError(f"cycle in taxonomy at {label!r}")
+            seen.append(label)
+        return seen  # label, parent, grandparent, ...
+
+    # Children (direct) of every internal label, plus of the root.
+    kids: dict[str, set[str]] = {}
+    root_kids: set[str] = set()
+    for leaf in leaves:
+        c = chain(leaf)
+        for child, parent in zip(c[:-1], c[1:]):
+            kids.setdefault(parent, set()).add(child)
+        root_kids.add(c[-1])
+
+    # Leaf value set covered by each internal label.
+    def covered(label: str) -> set[str]:
+        if label not in kids:
+            return {label} if label in set(leaves) else set()
+        out: set[str] = set()
+        for child in kids[label]:
+            out |= covered(child)
+        return out
+
+    def build_item(label: str) -> Item | None:
+        values = covered(label)
+        if not values:
+            return None
+        if label in set(leaves) and label not in kids:
+            return CategoricalItem(attribute, label)
+        return CategoricalItem(attribute, values, label=label)
+
+    root = CategoricalItem(attribute, leaves, label=root_label)
+    children: dict[Item, tuple[Item, ...]] = {}
+
+    def expand(parent_item: Item, child_labels: Iterable[str]) -> list[tuple]:
+        """Resolve labels to (item, grandchild-labels), collapsing any
+        level whose item equals the parent (single-child chains)."""
+        out: list[tuple] = []
+        for label in sorted(child_labels):
+            item = build_item(label)
+            if item is None:
+                continue
+            if item == parent_item:
+                out.extend(expand(parent_item, kids.get(label, ())))
+            else:
+                out.append((item, kids.get(label, ())))
+        return out
+
+    def attach(parent_item: Item, child_labels: Iterable[str]) -> None:
+        resolved = expand(parent_item, child_labels)
+        if not resolved:
+            return
+        children[parent_item] = tuple(item for item, _ in resolved)
+        for item, grand in resolved:
+            if grand:
+                attach(item, grand)
+
+    attach(root, root_kids)
+    return ItemHierarchy(attribute, root, children)

@@ -1,0 +1,23 @@
+"""Minimal ML substrate replacing scikit-learn.
+
+Provides a CART decision tree and a bagged random forest classifier,
+table-to-matrix feature encoding, train/test splitting, and basic
+classification metrics. The paper uses "a random forest classifier with
+default parameters" only to produce the prediction column whose error
+rate the explorers analyse; this substrate fills exactly that role.
+"""
+
+from repro.ml.encoding import TableEncoder
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.metrics import accuracy_score, confusion_counts
+from repro.ml.split import train_test_split
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "TableEncoder",
+    "accuracy_score",
+    "confusion_counts",
+    "train_test_split",
+]

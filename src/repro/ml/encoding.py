@@ -1,0 +1,72 @@
+"""Encoding :class:`repro.tabular.Table` rows as feature matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tabular import CategoricalColumn, ContinuousColumn, Table
+
+
+class TableEncoder:
+    """Encode table columns into a float64 matrix for the tree models.
+
+    Continuous columns pass through (NaN imputed with the training
+    median); categorical columns become their integer codes (ordinal
+    encoding — adequate for tree models, which only ever threshold).
+    Category-code mappings are frozen at :meth:`fit` time so train and
+    test encodings agree.
+    """
+
+    def __init__(self, feature_names: list[str]):
+        if not feature_names:
+            raise ValueError("need at least one feature")
+        self.feature_names = list(feature_names)
+        self._medians: dict[str, float] = {}
+        self._categories: dict[str, dict[str, int]] = {}
+        self._fitted = False
+
+    def fit(self, table: Table) -> "TableEncoder":
+        """Record medians and category codes from ``table``."""
+        for name in self.feature_names:
+            col = table[name]
+            if isinstance(col, ContinuousColumn):
+                finite = col.values[~np.isnan(col.values)]
+                self._medians[name] = (
+                    float(np.median(finite)) if finite.size else 0.0
+                )
+            elif isinstance(col, CategoricalColumn):
+                self._categories[name] = {
+                    c: i for i, c in enumerate(col.categories)
+                }
+            else:
+                raise TypeError(f"unsupported column type for {name!r}")
+        self._fitted = True
+        return self
+
+    def transform(self, table: Table) -> np.ndarray:
+        """Encode ``table`` into an (n, d) float64 matrix."""
+        if not self._fitted:
+            raise RuntimeError("encoder is not fitted")
+        n = table.n_rows
+        X = np.empty((n, len(self.feature_names)))
+        for j, name in enumerate(self.feature_names):
+            col = table[name]
+            if name in self._medians:
+                if not isinstance(col, ContinuousColumn):
+                    raise TypeError(f"column {name!r} changed type")
+                values = col.values.copy()
+                values[np.isnan(values)] = self._medians[name]
+                X[:, j] = values
+            else:
+                if not isinstance(col, CategoricalColumn):
+                    raise TypeError(f"column {name!r} changed type")
+                codes = self._categories[name]
+                # Unseen categories (and missing) map to -1.
+                X[:, j] = [
+                    codes.get(v, -1) if v is not None else -1
+                    for v in col.to_list()
+                ]
+        return X
+
+    def fit_transform(self, table: Table) -> np.ndarray:
+        return self.fit(table).transform(table)

@@ -1,0 +1,89 @@
+"""Bagged random forest classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier:
+    """Random forest: bootstrap-bagged CART trees with √d feature subsets.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees.
+    max_depth, min_samples_split, min_samples_leaf:
+        Passed through to each tree.
+    max_features:
+        Per-split feature subset; default ``"sqrt"`` as is standard.
+    bootstrap:
+        Draw a bootstrap sample per tree (True, default) or fit every
+        tree on the full data (differing only via feature subsets).
+    seed:
+        Seed for reproducible fits.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = "sqrt",
+        bootstrap: bool = True,
+        seed: int = 0,
+    ):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be positive")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.seed = seed
+        self.trees_: list[DecisionTreeClassifier] = []
+        self.n_classes_: int = 0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        """Fit the ensemble on matrix ``X`` and integer labels ``y``."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        rng = np.random.default_rng(self.seed)
+        self.n_classes_ = int(y.max()) + 1 if y.size else 0
+        self.trees_ = []
+        n = X.shape[0]
+        for _ in range(self.n_estimators):
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                rng=rng,
+            )
+            if self.bootstrap:
+                idx = rng.integers(0, n, size=n)
+                # Bootstrap samples may miss a class; force the full
+                # class dimension so leaf distributions line up.
+                tree.fit(X[idx], y[idx], n_classes=self.n_classes_)
+            else:
+                tree.fit(X, y, n_classes=self.n_classes_)
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Average leaf class frequencies across trees."""
+        if not self.trees_:
+            raise RuntimeError("forest is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        proba = np.zeros((X.shape[0], self.n_classes_))
+        for tree in self.trees_:
+            p = tree.predict_proba(X)
+            proba[:, : p.shape[1]] += p
+        return proba / len(self.trees_)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Majority-vote class labels."""
+        return np.argmax(self.predict_proba(X), axis=1)

@@ -1,0 +1,54 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact label matches."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("label arrays must have the same shape")
+    if y_true.size == 0:
+        raise ValueError("empty label arrays")
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_counts(
+    y_true: np.ndarray, y_pred: np.ndarray, positive=1
+) -> dict[str, int]:
+    """Binary confusion counts: ``{"tp", "fp", "tn", "fn"}``."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("label arrays must have the same shape")
+    t = y_true == positive
+    p = y_pred == positive
+    return {
+        "tp": int(np.sum(t & p)),
+        "fp": int(np.sum(~t & p)),
+        "tn": int(np.sum(~t & ~p)),
+        "fn": int(np.sum(t & ~p)),
+    }
+
+
+def rates_from_counts(counts: dict[str, int]) -> dict[str, float]:
+    """FPR/FNR/TPR/TNR and accuracy from confusion counts.
+
+    Undefined rates (zero denominator) are NaN.
+    """
+
+    def ratio(a: int, b: int) -> float:
+        return a / b if b else float("nan")
+
+    tp, fp, tn, fn = counts["tp"], counts["fp"], counts["tn"], counts["fn"]
+    total = tp + fp + tn + fn
+    return {
+        "fpr": ratio(fp, fp + tn),
+        "fnr": ratio(fn, fn + tp),
+        "tpr": ratio(tp, tp + fn),
+        "tnr": ratio(tn, tn + fp),
+        "accuracy": ratio(tp + tn, total),
+    }

@@ -1,0 +1,30 @@
+"""Train/test splitting for tables."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tabular import Table
+
+
+def train_test_split(
+    table: Table,
+    test_size: float = 0.3,
+    seed: int = 0,
+) -> tuple[Table, Table, np.ndarray, np.ndarray]:
+    """Random row split of a table.
+
+    Returns ``(train_table, test_table, train_indices, test_indices)``
+    where the index arrays refer to rows of the original table, so
+    callers can align externally computed arrays (labels, predictions).
+    """
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(table.n_rows)
+    n_test = int(round(test_size * table.n_rows))
+    if n_test == 0 or n_test == table.n_rows:
+        raise ValueError("split would leave an empty side")
+    test_idx = np.sort(perm[:n_test])
+    train_idx = np.sort(perm[n_test:])
+    return table.take(train_idx), table.take(test_idx), train_idx, test_idx

@@ -1,0 +1,206 @@
+"""CART decision tree classifier on numeric feature matrices.
+
+Gini-impurity splits found by sorting each candidate feature once and
+scanning prefix class counts — O(features · n log n) per node. Works on
+plain float64 matrices; categorical features should be passed as
+integer codes (trees handle ordinal encodings adequately for the role
+this substrate plays).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class _Leaf:
+    counts: np.ndarray  # per-class sample counts
+
+    @property
+    def prediction(self) -> int:
+        return int(np.argmax(self.counts))
+
+    @property
+    def proba(self) -> np.ndarray:
+        total = self.counts.sum()
+        if total == 0:
+            return np.full_like(self.counts, 1.0 / self.counts.size, dtype=float)
+        return self.counts / total
+
+
+@dataclass
+class _Split:
+    feature: int
+    threshold: float
+    left: "._Split | _Leaf"
+    right: "._Split | _Leaf"
+
+
+class DecisionTreeClassifier:
+    """A CART classification tree.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (None = unbounded).
+    min_samples_split:
+        Minimum samples required to attempt a split.
+    min_samples_leaf:
+        Minimum samples in each child.
+    max_features:
+        Features considered per split: None (all), ``"sqrt"``, or an
+        integer count. ``"sqrt"`` with a per-node random subset is what
+        random forests use.
+    rng:
+        numpy random generator, used only when ``max_features`` is set.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = rng or np.random.default_rng()
+        self._root: _Split | _Leaf | None = None
+        self.n_classes_: int = 0
+        self.n_features_: int = 0
+
+    # -- fitting ---------------------------------------------------------
+
+    def fit(
+        self, X: np.ndarray, y: np.ndarray, n_classes: int | None = None
+    ) -> "DecisionTreeClassifier":
+        """Fit on matrix ``X`` (n, d) and integer class labels ``y``.
+
+        ``n_classes`` forces the class-count dimension (used by the
+        forest, whose bootstrap samples may miss a class entirely).
+        """
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-dimensional")
+        if y.shape != (X.shape[0],):
+            raise ValueError("y length must match X rows")
+        if y.size == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        if y.min() < 0:
+            raise ValueError("class labels must be non-negative integers")
+        observed = int(y.max()) + 1
+        if n_classes is None:
+            n_classes = observed
+        elif n_classes < observed:
+            raise ValueError("n_classes is smaller than the labels seen")
+        self.n_classes_ = n_classes
+        self.n_features_ = X.shape[1]
+        self._root = self._build(X, y, depth=0)
+        return self
+
+    def _n_candidate_features(self) -> int:
+        if self.max_features is None:
+            return self.n_features_
+        if self.max_features == "sqrt":
+            return max(1, int(math.sqrt(self.n_features_)))
+        return min(int(self.max_features), self.n_features_)
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int):
+        counts = np.bincount(y, minlength=self.n_classes_).astype(np.float64)
+        if (
+            y.size < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or counts.max() == y.size  # pure node
+        ):
+            return _Leaf(counts)
+        split = self._best_split(X, y)
+        if split is None:
+            return _Leaf(counts)
+        feature, threshold = split
+        left_mask = X[:, feature] <= threshold
+        left = self._build(X[left_mask], y[left_mask], depth + 1)
+        right = self._build(X[~left_mask], y[~left_mask], depth + 1)
+        return _Split(feature, threshold, left, right)
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray
+    ) -> tuple[int, float] | None:
+        n = y.size
+        k = self._n_candidate_features()
+        if k < self.n_features_:
+            features = self.rng.choice(self.n_features_, size=k, replace=False)
+        else:
+            features = np.arange(self.n_features_)
+        best_impurity = math.inf
+        best: tuple[int, float] | None = None
+        onehot = np.zeros((n, self.n_classes_))
+        onehot[np.arange(n), y] = 1.0
+        for f in features:
+            order = np.argsort(X[:, f], kind="stable")
+            xs = X[order, f]
+            cum = np.cumsum(onehot[order], axis=0)  # prefix class counts
+            # Valid split positions: value boundary + leaf-size bounds.
+            pos = np.nonzero(xs[1:] != xs[:-1])[0] + 1
+            pos = pos[
+                (pos >= self.min_samples_leaf) & (pos <= n - self.min_samples_leaf)
+            ]
+            if pos.size == 0:
+                continue
+            left_counts = cum[pos - 1]
+            right_counts = cum[-1] - left_counts
+            nl = pos.astype(np.float64)
+            nr = n - nl
+            gini_l = 1.0 - np.sum((left_counts / nl[:, None]) ** 2, axis=1)
+            gini_r = 1.0 - np.sum((right_counts / nr[:, None]) ** 2, axis=1)
+            impurity = (nl * gini_l + nr * gini_r) / n
+            i = int(np.argmin(impurity))
+            if impurity[i] < best_impurity:
+                best_impurity = float(impurity[i])
+                best = (int(f), float((xs[pos[i] - 1] + xs[pos[i]]) / 2.0))
+        # Zero-gain splits are accepted (as in CART): problems like XOR
+        # have no single split that reduces impurity, yet the children
+        # become separable. Recursion still terminates because both
+        # children are strictly smaller.
+        return best
+
+    # -- prediction ------------------------------------------------------
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted class labels for each row of ``X``."""
+        return np.argmax(self.predict_proba(X), axis=1)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Leaf class frequencies for each row of ``X``."""
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        out = np.empty((X.shape[0], self.n_classes_))
+        for i, row in enumerate(X):
+            node = self._root
+            while isinstance(node, _Split):
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.proba
+        return out
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+
+        def walk(node) -> int:
+            if isinstance(node, _Leaf):
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        return walk(self._root)

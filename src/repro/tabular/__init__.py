@@ -1,0 +1,39 @@
+"""Lightweight column-store tabular substrate.
+
+This subpackage replaces pandas for the purposes of this reproduction.
+It provides a :class:`Table` of typed columns backed by numpy arrays,
+with the operations the subgroup-discovery algorithms actually need:
+column access, boolean-mask selection, row counting, and CSV I/O.
+
+Example
+-------
+>>> from repro.tabular import Table
+>>> t = Table({"age": [25.0, 40.0, 31.0], "sex": ["F", "M", "F"]})
+>>> t.n_rows
+3
+>>> t["sex"].mask_eq("F").sum()
+2
+"""
+
+from repro.tabular.column import (
+    CategoricalColumn,
+    Column,
+    ContinuousColumn,
+    infer_column,
+)
+from repro.tabular.io import read_csv, write_csv
+from repro.tabular.schema import ColumnKind, ColumnSpec, Schema
+from repro.tabular.table import Table
+
+__all__ = [
+    "CategoricalColumn",
+    "Column",
+    "ColumnKind",
+    "ColumnSpec",
+    "ContinuousColumn",
+    "Schema",
+    "Table",
+    "infer_column",
+    "read_csv",
+    "write_csv",
+]

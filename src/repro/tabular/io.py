@@ -1,0 +1,93 @@
+"""CSV reading and writing for :class:`repro.tabular.Table`."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.tabular.schema import ColumnKind, Schema
+from repro.tabular.table import Table
+
+
+def read_csv(path, schema: Schema | None = None) -> Table:
+    """Read a CSV file with a header row into a :class:`Table`.
+
+    Parameters
+    ----------
+    path:
+        File path.
+    schema:
+        Optional schema forcing column kinds. Columns absent from the
+        schema are inferred: a column parses as continuous if every
+        non-empty cell parses as a float, otherwise it is categorical.
+    Empty cells become missing values.
+    """
+    path = Path(path)
+    with path.open(newline="") as f:
+        reader = csv.reader(f)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty (no header row)") from None
+        rows = list(reader)
+    columns: dict[str, list] = {name: [] for name in header}
+    for row in rows:
+        if not row:
+            # A blank line: for single-column tables this is how the
+            # csv module writes a missing value; otherwise skip it.
+            if len(header) == 1:
+                row = [""]
+            else:
+                continue
+        if len(row) != len(header):
+            raise ValueError(
+                f"{path}: row with {len(row)} cells does not match "
+                f"header with {len(header)} cells"
+            )
+        for name, cell in zip(header, row):
+            columns[name].append(cell)
+    data: dict[str, list] = {}
+    for name, cells in columns.items():
+        if schema is not None and name in schema:
+            kind = schema.kind_of(name)
+            data[name] = _parse(cells, kind is ColumnKind.CONTINUOUS)
+        else:
+            data[name] = _parse(cells, _all_floats(cells))
+    return Table(data, schema=schema)
+
+
+def write_csv(table: Table, path) -> None:
+    """Write ``table`` to ``path`` as CSV with a header row.
+
+    Missing values are written as empty cells.
+    """
+    path = Path(path)
+    decoded = table.to_dict()
+    names = table.column_names
+    with path.open("w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(names)
+        for i in range(table.n_rows):
+            writer.writerow(
+                ["" if decoded[n][i] is None else decoded[n][i] for n in names]
+            )
+
+
+def _all_floats(cells: list[str]) -> bool:
+    """True if every non-empty cell parses as a float (and one exists)."""
+    seen = False
+    for cell in cells:
+        if cell == "":
+            continue
+        seen = True
+        try:
+            float(cell)
+        except ValueError:
+            return False
+    return seen
+
+
+def _parse(cells: list[str], continuous: bool) -> list:
+    if continuous:
+        return [None if c == "" else float(c) for c in cells]
+    return [None if c == "" else c for c in cells]

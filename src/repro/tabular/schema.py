@@ -1,0 +1,82 @@
+"""Schema descriptions for :class:`repro.tabular.Table`.
+
+A schema is a declarative list of column specifications. It is used to
+force column kinds when constructing tables or reading CSV files, and to
+communicate which attributes are continuous to the discretization layer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ColumnKind(enum.Enum):
+    """The two attribute kinds of the paper (Section III-A).
+
+    Categorical attributes have a finite domain; continuous attributes
+    range over the reals and must be discretized before (flat) mining.
+    """
+
+    CATEGORICAL = "categorical"
+    CONTINUOUS = "continuous"
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Specification of a single column: its name and kind."""
+
+    name: str
+    kind: ColumnKind
+
+    def is_continuous(self) -> bool:
+        return self.kind is ColumnKind.CONTINUOUS
+
+
+@dataclass
+class Schema:
+    """Ordered collection of :class:`ColumnSpec`.
+
+    Parameters
+    ----------
+    specs:
+        Column specifications in column order.
+    """
+
+    specs: list[ColumnSpec] = field(default_factory=list)
+
+    @classmethod
+    def from_kinds(cls, kinds: dict[str, ColumnKind]) -> "Schema":
+        """Build a schema from a ``{name: kind}`` mapping."""
+        return cls([ColumnSpec(name, kind) for name, kind in kinds.items()])
+
+    @property
+    def names(self) -> list[str]:
+        return [spec.name for spec in self.specs]
+
+    @property
+    def continuous_names(self) -> list[str]:
+        return [spec.name for spec in self.specs if spec.is_continuous()]
+
+    @property
+    def categorical_names(self) -> list[str]:
+        return [spec.name for spec in self.specs if not spec.is_continuous()]
+
+    def kind_of(self, name: str) -> ColumnKind:
+        """Return the kind of column ``name``.
+
+        Raises
+        ------
+        KeyError
+            If the schema has no column with that name.
+        """
+        for spec in self.specs:
+            if spec.name == name:
+                return spec.kind
+        raise KeyError(f"no column named {name!r} in schema")
+
+    def __contains__(self, name: str) -> bool:
+        return any(spec.name == name for spec in self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)

@@ -1,0 +1,236 @@
+"""The :class:`Table` column-store frame."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.tabular.column import (
+    CategoricalColumn,
+    Column,
+    ContinuousColumn,
+    infer_column,
+)
+from repro.tabular.schema import ColumnKind, ColumnSpec, Schema
+
+
+class Table:
+    """An immutable, column-oriented table.
+
+    Parameters
+    ----------
+    data:
+        Either a mapping ``{name: values}`` (values are lists or numpy
+        arrays; types are inferred unless ``schema`` overrides them) or
+        an iterable of :class:`Column` objects.
+    schema:
+        Optional schema forcing specific column kinds during inference.
+
+    Notes
+    -----
+    All columns must share the same length. Mutating operations return
+    new tables; the underlying numpy arrays are shared where safe.
+    """
+
+    def __init__(self, data, schema: Schema | None = None):
+        columns: list[Column] = []
+        if isinstance(data, Mapping):
+            for name, values in data.items():
+                if isinstance(values, Column):
+                    columns.append(values.rename(name))
+                elif schema is not None and name in schema:
+                    columns.append(_coerce(name, values, schema.kind_of(name)))
+                else:
+                    columns.append(infer_column(name, values))
+        else:
+            columns = [c for c in data]
+            if not all(isinstance(c, Column) for c in columns):
+                raise TypeError("non-mapping data must be an iterable of Column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names: {names}")
+        lengths = {len(c) for c in columns}
+        if len(lengths) > 1:
+            raise ValueError(f"columns have differing lengths: {sorted(lengths)}")
+        self._columns: dict[str, Column] = {c.name: c for c in columns}
+        self._n_rows = lengths.pop() if lengths else 0
+
+    # -- basic properties -------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._columns)
+
+    @property
+    def schema(self) -> Schema:
+        """Schema describing the current columns."""
+        specs = []
+        for name, col in self._columns.items():
+            kind = (
+                ColumnKind.CONTINUOUS
+                if isinstance(col, ContinuousColumn)
+                else ColumnKind.CATEGORICAL
+            )
+            specs.append(ColumnSpec(name, kind))
+        return Schema(specs)
+
+    @property
+    def continuous_names(self) -> list[str]:
+        return [
+            n for n, c in self._columns.items() if isinstance(c, ContinuousColumn)
+        ]
+
+    @property
+    def categorical_names(self) -> list[str]:
+        return [
+            n for n, c in self._columns.items() if isinstance(c, CategoricalColumn)
+        ]
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __getitem__(self, name: str) -> Column:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(
+                f"no column {name!r}; available: {self.column_names}"
+            ) from None
+
+    def continuous(self, name: str) -> ContinuousColumn:
+        """Return column ``name``, asserting it is continuous."""
+        col = self[name]
+        if not isinstance(col, ContinuousColumn):
+            raise TypeError(f"column {name!r} is not continuous")
+        return col
+
+    def categorical(self, name: str) -> CategoricalColumn:
+        """Return column ``name``, asserting it is categorical."""
+        col = self[name]
+        if not isinstance(col, CategoricalColumn):
+            raise TypeError(f"column {name!r} is not categorical")
+        return col
+
+    # -- row operations ----------------------------------------------------
+
+    def select(self, mask: np.ndarray) -> "Table":
+        """Return the sub-table of rows where ``mask`` is True."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self._n_rows,):
+            raise ValueError(
+                f"mask shape {mask.shape} != ({self._n_rows},)"
+            )
+        return Table([c.select(mask) for c in self._columns.values()])
+
+    def take(self, indices) -> "Table":
+        """Return the sub-table of rows at ``indices`` (in order)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return Table([c.take(indices) for c in self._columns.values()])
+
+    def head(self, n: int = 5) -> "Table":
+        """Return the first ``n`` rows."""
+        return self.take(np.arange(min(n, self._n_rows)))
+
+    def shuffle(self, rng: np.random.Generator) -> "Table":
+        """Return a row-shuffled copy using ``rng``."""
+        return self.take(rng.permutation(self._n_rows))
+
+    # -- column operations ---------------------------------------------------
+
+    def with_column(self, column: Column) -> "Table":
+        """Return a table with ``column`` added or replaced."""
+        if len(column) != self._n_rows and self._n_rows > 0:
+            raise ValueError("new column length does not match table")
+        cols = dict(self._columns)
+        cols[column.name] = column
+        return Table(list(cols.values()))
+
+    def with_values(self, name: str, values) -> "Table":
+        """Infer a column from ``values`` and add/replace it as ``name``."""
+        return self.with_column(infer_column(name, values))
+
+    def drop(self, names: Iterable[str]) -> "Table":
+        """Return a table without the given columns."""
+        drop = set(names)
+        missing = drop - set(self._columns)
+        if missing:
+            raise KeyError(f"cannot drop missing columns: {sorted(missing)}")
+        return Table([c for n, c in self._columns.items() if n not in drop])
+
+    def project(self, names: Iterable[str]) -> "Table":
+        """Return a table with only the given columns, in that order."""
+        return Table([self[n] for n in names])
+
+    # -- summaries --------------------------------------------------------
+
+    def describe(self) -> dict[str, dict]:
+        """Per-column summary statistics.
+
+        Continuous columns report count/missing/min/mean/max/std;
+        categorical columns report count/missing/n_categories and the
+        modal category.
+        """
+        out: dict[str, dict] = {}
+        for name, col in self._columns.items():
+            missing = int(col.missing_mask().sum())
+            if isinstance(col, ContinuousColumn):
+                finite = col.values[~np.isnan(col.values)]
+                out[name] = {
+                    "kind": "continuous",
+                    "count": self._n_rows - missing,
+                    "missing": missing,
+                    "min": float(finite.min()) if finite.size else None,
+                    "mean": float(finite.mean()) if finite.size else None,
+                    "max": float(finite.max()) if finite.size else None,
+                    "std": float(finite.std()) if finite.size else None,
+                }
+            else:
+                counts = col.value_counts()
+                top = max(counts, key=counts.get) if counts else None
+                out[name] = {
+                    "kind": "categorical",
+                    "count": self._n_rows - missing,
+                    "missing": missing,
+                    "n_categories": len(col.categories),
+                    "top": top,
+                    "top_count": counts.get(top, 0) if top else 0,
+                }
+        return out
+
+    # -- conversion / comparison ----------------------------------------------
+
+    def to_dict(self) -> dict[str, list]:
+        """Decode the table to ``{name: list_of_values}``."""
+        return {n: c.to_list() for n, c in self._columns.items()}
+
+    def equals(self, other: "Table") -> bool:
+        """Value equality: same columns, same order, same decoded values."""
+        if self.column_names != other.column_names:
+            return False
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:
+        kinds = ", ".join(
+            f"{n}:{'num' if isinstance(c, ContinuousColumn) else 'cat'}"
+            for n, c in self._columns.items()
+        )
+        return f"Table(n_rows={self._n_rows}, columns=[{kinds}])"
+
+
+def _coerce(name: str, values, kind: ColumnKind) -> Column:
+    """Build a column of an explicitly requested kind."""
+    if kind is ColumnKind.CONTINUOUS:
+        arr = np.asarray(
+            [np.nan if v is None or v == "" else float(v) for v in values],
+            dtype=np.float64,
+        )
+        return ContinuousColumn(name, arr)
+    return CategoricalColumn.from_values(name, values)

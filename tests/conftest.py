@@ -1,0 +1,49 @@
+"""Shared test fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.outcomes import array_outcome
+from repro.tabular import Table
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_table():
+    """Six rows, one continuous and two categorical columns."""
+    return Table(
+        {
+            "age": [22.0, 35.0, 51.0, 28.0, 35.0, 60.0],
+            "sex": ["F", "M", "M", "F", "F", "M"],
+            "city": ["LA", "SF", "LA", "NY", "SF", "LA"],
+        }
+    )
+
+
+@pytest.fixture
+def pocket_data(rng):
+    """A 3000-row table with a planted error pocket.
+
+    Returns (table, outcome_values): the error probability is 0.5 for
+    rows with x in (0, 2] and cat == 'b', and 0.05 elsewhere.
+    """
+    n = 3000
+    x = rng.uniform(-5, 5, n)
+    y = rng.uniform(0, 10, n)
+    cat = rng.choice(["a", "b", "c"], n)
+    p = np.where((x > 0) & (x <= 2) & (cat == "b"), 0.5, 0.05)
+    errors = (rng.uniform(size=n) < p).astype(float)
+    table = Table({"x": x, "y": y, "cat": cat})
+    return table, errors
+
+
+@pytest.fixture
+def pocket_outcome(pocket_data):
+    table, errors = pocket_data
+    return table, array_outcome(errors, name="error", boolean=True)

@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import german
+from repro.tabular import write_csv
+
+
+@pytest.fixture(scope="module")
+def german_csv(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "german.csv"
+    write_csv(german(n_rows=400).table, path)
+    return str(path)
+
+
+def test_datasets_lists_all(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    for name in ("compas", "folktables", "synthetic-peak", "wine"):
+        assert name in out
+
+
+def test_generate(tmp_path, capsys):
+    out_path = tmp_path / "peak.csv"
+    assert main(
+        ["generate", "synthetic-peak", "--out", str(out_path), "--rows", "200"]
+    ) == 0
+    assert out_path.exists()
+    assert "200 rows" in capsys.readouterr().out
+
+
+def test_explore_hierarchical(german_csv, capsys):
+    code = main(
+        [
+            "explore", german_csv, "--kind", "error",
+            "--y-true", "label", "--y-pred", "pred",
+            "--support", "0.2", "--top", "3",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "hierarchical exploration" in out
+    assert "Δ=" in out
+
+
+def test_explore_base(german_csv, capsys):
+    code = main(
+        [
+            "explore", german_csv, "--kind", "error",
+            "--y-true", "label", "--y-pred", "pred",
+            "--support", "0.2", "--base", "--top", "2",
+        ]
+    )
+    assert code == 0
+    assert "base (leaf items)" in capsys.readouterr().out
+
+
+def test_discretize(german_csv, capsys):
+    code = main(
+        [
+            "discretize", german_csv, "--attribute", "age",
+            "--kind", "error", "--y-true", "label", "--y-pred", "pred",
+        ]
+    )
+    assert code == 0
+    assert capsys.readouterr().out.startswith("age=*")
+
+
+def test_discretize_rejects_categorical(german_csv):
+    with pytest.raises(SystemExit):
+        main(
+            [
+                "discretize", german_csv, "--attribute", "housing",
+                "--kind", "error", "--y-true", "label", "--y-pred", "pred",
+            ]
+        )
+
+
+def test_numeric_kind_requires_column(german_csv):
+    with pytest.raises(SystemExit):
+        main(["explore", german_csv, "--kind", "numeric"])
+
+
+def test_rate_kind_requires_labels(german_csv):
+    with pytest.raises(SystemExit):
+        main(["explore", german_csv, "--kind", "fpr"])
+
+
+def test_explore_numeric_outcome(german_csv, capsys):
+    code = main(
+        [
+            "explore", german_csv, "--kind", "numeric",
+            "--column", "credit_amount", "--support", "0.2", "--top", "2",
+        ]
+    )
+    assert code == 0
+    assert "frequent subgroups" in capsys.readouterr().out

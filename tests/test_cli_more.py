@@ -1,0 +1,76 @@
+"""Additional CLI coverage: polarity, ranking flags, outcome kinds."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import compas
+from repro.tabular import write_csv
+
+
+@pytest.fixture(scope="module")
+def compas_csv(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli2") / "compas.csv"
+    write_csv(compas(n_rows=1_500).table, path)
+    return str(path)
+
+
+def test_explore_fpr_with_polarity(compas_csv, capsys):
+    code = main(
+        [
+            "explore", compas_csv, "--kind", "fpr",
+            "--y-true", "two_year_recid", "--y-pred", "predicted_recid",
+            "--support", "0.1", "--polarity", "--top", "3",
+        ]
+    )
+    assert code == 0
+    assert "Δ=" in capsys.readouterr().out
+
+
+def test_explore_rank_by_negative(compas_csv, capsys):
+    code = main(
+        [
+            "explore", compas_csv, "--kind", "fpr",
+            "--y-true", "two_year_recid", "--y-pred", "predicted_recid",
+            "--support", "0.1", "--rank-by", "neg_divergence", "--top", "1",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    # The worst negative-divergence subgroup leads the list.
+    assert "Δ=-" in out
+
+
+def test_explore_fnr_kind(compas_csv, capsys):
+    code = main(
+        [
+            "explore", compas_csv, "--kind", "fnr",
+            "--y-true", "two_year_recid", "--y-pred", "predicted_recid",
+            "--support", "0.2", "--top", "1",
+        ]
+    )
+    assert code == 0
+
+
+def test_explore_min_t_filter(compas_csv, capsys):
+    code = main(
+        [
+            "explore", compas_csv, "--kind", "fpr",
+            "--y-true", "two_year_recid", "--y-pred", "predicted_recid",
+            "--support", "0.1", "--min-t", "50", "--top", "5",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    # Nothing clears t >= 50 on 1.5k rows; header still printed.
+    assert "frequent subgroups" in out
+
+
+def test_explore_entropy_criterion(compas_csv, capsys):
+    code = main(
+        [
+            "explore", compas_csv, "--kind", "accuracy",
+            "--y-true", "two_year_recid", "--y-pred", "predicted_recid",
+            "--support", "0.15", "--criterion", "entropy", "--top", "2",
+        ]
+    )
+    assert code == 0

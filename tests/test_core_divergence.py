@@ -1,0 +1,138 @@
+"""Unit tests for divergence statistics; Welch t cross-checked vs scipy."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.core.divergence import (
+    OutcomeStats,
+    divergence,
+    entropy,
+    welch_degrees_of_freedom,
+    welch_t,
+)
+
+
+class TestOutcomeStats:
+    def test_from_outcomes_plain(self):
+        s = OutcomeStats.from_outcomes(np.array([1.0, 0.0, 1.0]))
+        assert s.count == 3 and s.n == 3
+        assert s.total == 2.0 and s.total_sq == 2.0
+        assert s.mean == pytest.approx(2 / 3)
+
+    def test_from_outcomes_with_nan(self):
+        s = OutcomeStats.from_outcomes(np.array([1.0, np.nan, 3.0]))
+        assert s.count == 3 and s.n == 2
+        assert s.total == 4.0 and s.total_sq == 10.0
+
+    def test_from_outcomes_masked(self):
+        o = np.array([1.0, 2.0, 3.0])
+        s = OutcomeStats.from_outcomes(o, mask=np.array([True, False, True]))
+        assert s.count == 2 and s.total == 4.0
+
+    def test_empty(self):
+        s = OutcomeStats.empty()
+        assert math.isnan(s.mean)
+        assert math.isnan(s.variance)
+
+    def test_variance_matches_numpy(self):
+        data = np.array([1.0, 4.0, 4.0, 9.0, 2.5])
+        s = OutcomeStats.from_outcomes(data)
+        assert s.variance == pytest.approx(float(np.var(data, ddof=1)))
+
+    def test_variance_single_value_nan(self):
+        s = OutcomeStats.from_outcomes(np.array([5.0]))
+        assert math.isnan(s.variance)
+
+    def test_variance_clamped_nonnegative(self):
+        # Cancellation-prone constant data.
+        data = np.full(100, 1e8)
+        s = OutcomeStats.from_outcomes(data)
+        assert s.variance >= 0.0
+
+    def test_merge_is_concat(self, rng):
+        a = rng.normal(size=40)
+        b = rng.normal(size=60)
+        merged = OutcomeStats.from_outcomes(a).merge(
+            OutcomeStats.from_outcomes(b)
+        )
+        direct = OutcomeStats.from_outcomes(np.concatenate([a, b]))
+        assert merged.count == direct.count
+        assert merged.mean == pytest.approx(direct.mean)
+        assert merged.variance == pytest.approx(direct.variance)
+
+
+class TestDivergence:
+    def test_divergence_definition(self):
+        sub = OutcomeStats.from_outcomes(np.array([1.0, 1.0, 0.0]))
+        full = OutcomeStats.from_outcomes(np.array([1.0, 1.0, 0.0, 0.0, 0.0]))
+        assert divergence(sub, full) == pytest.approx(2 / 3 - 2 / 5)
+
+    def test_divergence_nan_when_undefined(self):
+        sub = OutcomeStats.empty()
+        full = OutcomeStats.from_outcomes(np.array([1.0]))
+        assert math.isnan(divergence(sub, full))
+
+
+class TestWelch:
+    def test_t_matches_scipy(self, rng):
+        a = rng.normal(0.3, 1.0, 80)
+        b = rng.normal(0.0, 2.0, 300)
+        ours = welch_t(
+            OutcomeStats.from_outcomes(a), OutcomeStats.from_outcomes(b)
+        )
+        ref = scipy_stats.ttest_ind(a, b, equal_var=False)
+        assert ours == pytest.approx(abs(ref.statistic), rel=1e-10)
+
+    def test_dof_matches_scipy(self, rng):
+        a = rng.normal(0.0, 1.0, 50)
+        b = rng.normal(0.0, 3.0, 200)
+        ours = welch_degrees_of_freedom(
+            OutcomeStats.from_outcomes(a), OutcomeStats.from_outcomes(b)
+        )
+        ref = scipy_stats.ttest_ind(a, b, equal_var=False)
+        assert ours == pytest.approx(ref.df, rel=1e-10)
+
+    def test_t_nan_for_tiny_groups(self):
+        tiny = OutcomeStats.from_outcomes(np.array([1.0]))
+        big = OutcomeStats.from_outcomes(np.array([1.0, 0.0, 1.0]))
+        assert math.isnan(welch_t(tiny, big))
+
+    def test_t_zero_variance_same_mean(self):
+        a = OutcomeStats.from_outcomes(np.full(5, 2.0))
+        b = OutcomeStats.from_outcomes(np.full(9, 2.0))
+        assert welch_t(a, b) == 0.0
+
+    def test_t_zero_variance_different_mean_inf(self):
+        a = OutcomeStats.from_outcomes(np.full(5, 2.0))
+        b = OutcomeStats.from_outcomes(np.full(9, 3.0))
+        assert math.isinf(welch_t(a, b))
+
+    def test_t_is_nonnegative(self, rng):
+        a = OutcomeStats.from_outcomes(rng.normal(-5, 1, 30))
+        b = OutcomeStats.from_outcomes(rng.normal(5, 1, 30))
+        assert welch_t(a, b) >= 0.0
+
+
+class TestEntropy:
+    def test_uniform_is_log2(self):
+        s = OutcomeStats.from_outcomes(np.array([1.0, 0.0]))
+        assert entropy(s) == pytest.approx(math.log(2))
+
+    def test_pure_is_zero(self):
+        assert entropy(OutcomeStats.from_outcomes(np.ones(10))) == 0.0
+        assert entropy(OutcomeStats.from_outcomes(np.zeros(10))) == 0.0
+
+    def test_empty_is_zero(self):
+        assert entropy(OutcomeStats.empty()) == 0.0
+
+    def test_symmetry(self):
+        p30 = OutcomeStats.from_outcomes(
+            np.array([1.0] * 3 + [0.0] * 7)
+        )
+        p70 = OutcomeStats.from_outcomes(
+            np.array([1.0] * 7 + [0.0] * 3)
+        )
+        assert entropy(p30) == pytest.approx(entropy(p70))

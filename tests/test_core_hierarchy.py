@@ -1,0 +1,188 @@
+"""Unit tests for repro.core.hierarchy."""
+
+import pytest
+
+from repro.core.hierarchy import HierarchySet, ItemHierarchy, flat_hierarchy
+from repro.core.items import CategoricalItem, IntervalItem
+from repro.tabular import Table
+
+
+@pytest.fixture
+def interval_hierarchy():
+    """x: root → (≤0, >0); >0 → (0,5], >5."""
+    root = IntervalItem("x")
+    low = IntervalItem("x", high=0)
+    high = IntervalItem("x", low=0)
+    mid = IntervalItem("x", 0, 5)
+    top = IntervalItem("x", low=5)
+    return ItemHierarchy(
+        "x", root, {root: (low, high), high: (mid, top)}
+    )
+
+
+@pytest.fixture
+def x_table():
+    return Table({"x": [-3.0, -1.0, 2.0, 4.0, 7.0, 9.0]})
+
+
+class TestConstruction:
+    def test_wrong_attribute_root(self):
+        with pytest.raises(ValueError):
+            ItemHierarchy("x", IntervalItem("y"), {})
+
+    def test_child_wrong_attribute(self):
+        root = IntervalItem("x")
+        with pytest.raises(ValueError, match="attribute"):
+            ItemHierarchy("x", root, {root: (IntervalItem("y", high=0),)})
+
+    def test_two_parents_rejected(self):
+        root = IntervalItem("x")
+        a = IntervalItem("x", high=0)
+        b = IntervalItem("x", low=0)
+        kid = IntervalItem("x", 1, 2)
+        with pytest.raises(ValueError, match="two parents"):
+            ItemHierarchy("x", root, {root: (a, b), a: (kid,), b: (kid,)})
+
+    def test_unreachable_item_rejected(self):
+        root = IntervalItem("x")
+        stray = IntervalItem("x", 1, 2)
+        stray_kid = IntervalItem("x", 1, 1.5)
+        with pytest.raises(ValueError, match="reachable"):
+            ItemHierarchy("x", root, {stray: (stray_kid,)})
+
+    def test_empty_children_entries_dropped(self):
+        root = IntervalItem("x")
+        h = ItemHierarchy("x", root, {root: ()})
+        assert h.is_leaf(root)
+
+
+class TestQueries:
+    def test_items_preorder(self, interval_hierarchy):
+        items = interval_hierarchy.items()
+        assert items[0] == IntervalItem("x")
+        assert len(items) == 5
+
+    def test_items_exclude_root(self, interval_hierarchy):
+        assert len(interval_hierarchy.items(include_root=False)) == 4
+
+    def test_leaves(self, interval_hierarchy):
+        leaves = interval_hierarchy.leaves()
+        assert IntervalItem("x", high=0) in leaves
+        assert IntervalItem("x", 0, 5) in leaves
+        assert IntervalItem("x", low=5) in leaves
+        assert len(leaves) == 3
+
+    def test_ancestors_nearest_first(self, interval_hierarchy):
+        mid = IntervalItem("x", 0, 5)
+        anc = interval_hierarchy.ancestors(mid)
+        assert anc == [IntervalItem("x", low=0), IntervalItem("x")]
+
+    def test_descendants(self, interval_hierarchy):
+        high = IntervalItem("x", low=0)
+        desc = interval_hierarchy.descendants(high)
+        assert set(desc) == {IntervalItem("x", 0, 5), IntervalItem("x", low=5)}
+
+    def test_depth(self, interval_hierarchy):
+        assert interval_hierarchy.depth(IntervalItem("x")) == 0
+        assert interval_hierarchy.depth(IntervalItem("x", 0, 5)) == 2
+
+    def test_contains(self, interval_hierarchy):
+        assert IntervalItem("x", 0, 5) in interval_hierarchy
+        assert IntervalItem("x", 0, 99) not in interval_hierarchy
+
+    def test_render_contains_all(self, interval_hierarchy):
+        text = interval_hierarchy.render()
+        assert "x=*" in text
+        assert "x=(0-5]" in text
+
+    def test_render_annotations(self, interval_hierarchy):
+        text = interval_hierarchy.render(annotate=lambda item: "A")
+        assert "[A]" in text
+
+
+class TestValidation:
+    def test_valid_partition_passes(self, interval_hierarchy, x_table):
+        interval_hierarchy.validate(x_table)
+
+    def test_overlap_detected(self, x_table):
+        root = IntervalItem("x")
+        a = IntervalItem("x", high=5)
+        b = IntervalItem("x", low=0)  # overlaps (0, 5]
+        h = ItemHierarchy("x", root, {root: (a, b)})
+        with pytest.raises(ValueError, match="overlap"):
+            h.validate(x_table)
+
+    def test_gap_detected(self, x_table):
+        root = IntervalItem("x")
+        a = IntervalItem("x", high=0)
+        b = IntervalItem("x", low=5)  # misses (0, 5]
+        h = ItemHierarchy("x", root, {root: (a, b)})
+        with pytest.raises(ValueError, match="cover"):
+            h.validate(x_table)
+
+
+class TestFlatHierarchy:
+    def test_interval_items(self):
+        items = [IntervalItem("x", high=0), IntervalItem("x", low=0)]
+        h = flat_hierarchy("x", items)
+        assert h.root == IntervalItem("x")
+        assert set(h.leaves()) == set(items)
+
+    def test_categorical_items(self):
+        items = [CategoricalItem("c", "a"), CategoricalItem("c", "b")]
+        h = flat_hierarchy("c", items)
+        assert h.root.values == frozenset({"a", "b"})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            flat_hierarchy("x", [])
+
+    def test_mixed_types_rejected(self):
+        with pytest.raises(TypeError):
+            flat_hierarchy("x", [IntervalItem("x"), CategoricalItem("x", "a")])
+
+
+class TestHierarchySet:
+    def test_add_and_lookup(self, interval_hierarchy):
+        gamma = HierarchySet([interval_hierarchy])
+        assert "x" in gamma
+        assert gamma["x"] is interval_hierarchy
+        assert gamma.attributes == ["x"]
+        assert len(gamma) == 1
+
+    def test_duplicate_attribute_rejected(self, interval_hierarchy):
+        gamma = HierarchySet([interval_hierarchy])
+        with pytest.raises(ValueError):
+            gamma.add(interval_hierarchy)
+
+    def test_all_items_excludes_roots(self, interval_hierarchy):
+        gamma = HierarchySet([interval_hierarchy])
+        items = gamma.all_items()
+        assert IntervalItem("x") not in items
+        assert len(items) == 4
+
+    def test_all_items_with_roots(self, interval_hierarchy):
+        gamma = HierarchySet([interval_hierarchy])
+        assert len(gamma.all_items(include_roots=True)) == 5
+
+    def test_leaf_items(self, interval_hierarchy):
+        gamma = HierarchySet([interval_hierarchy])
+        assert len(gamma.leaf_items()) == 3
+
+    def test_add_flat(self):
+        gamma = HierarchySet()
+        gamma.add_flat("c", [CategoricalItem("c", "a"), CategoricalItem("c", "b")])
+        assert "c" in gamma
+        assert len(gamma.leaf_items()) == 2
+
+    def test_ancestors_excludes_root(self, interval_hierarchy):
+        gamma = HierarchySet([interval_hierarchy])
+        anc = gamma.ancestors(IntervalItem("x", 0, 5))
+        assert anc == [IntervalItem("x", low=0)]
+
+    def test_ancestors_unknown_item_empty(self, interval_hierarchy):
+        gamma = HierarchySet([interval_hierarchy])
+        assert gamma.ancestors(IntervalItem("zz", 0, 1)) == []
+
+    def test_validate_all(self, interval_hierarchy, x_table):
+        HierarchySet([interval_hierarchy]).validate(x_table)

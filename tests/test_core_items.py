@@ -1,0 +1,180 @@
+"""Unit tests for repro.core.items."""
+
+import math
+
+import pytest
+
+from repro.core.items import CategoricalItem, IntervalItem, Itemset
+from repro.tabular import Table
+
+
+class TestCategoricalItem:
+    def test_single_value(self, small_table):
+        item = CategoricalItem("sex", "F")
+        assert list(item.mask(small_table)) == [
+            True, False, False, True, True, False,
+        ]
+        assert str(item) == "sex=F"
+
+    def test_multi_value(self, small_table):
+        item = CategoricalItem("city", {"LA", "SF"}, label="WestCoast")
+        assert list(item.mask(small_table)) == [
+            True, True, True, False, True, True,
+        ]
+        assert str(item) == "city=WestCoast"
+
+    def test_default_multi_label(self):
+        item = CategoricalItem("c", {"b", "a"})
+        assert item.label == "{a,b}"
+
+    def test_equality_by_value_set_not_label(self):
+        a = CategoricalItem("c", {"x", "y"}, label="one")
+        b = CategoricalItem("c", {"y", "x"}, label="two")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_across_attributes(self):
+        assert CategoricalItem("c", "x") != CategoricalItem("d", "x")
+
+    def test_covers(self):
+        parent = CategoricalItem("c", {"a", "b"})
+        child = CategoricalItem("c", "a")
+        assert parent.covers(child)
+        assert not child.covers(parent)
+        assert parent.covers(parent)
+
+    def test_covers_other_attribute_false(self):
+        assert not CategoricalItem("c", {"a"}).covers(CategoricalItem("d", "a"))
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            CategoricalItem("c", set())
+
+
+class TestIntervalItem:
+    def test_default_universe(self):
+        item = IntervalItem("x")
+        assert item.is_universe
+        assert str(item) == "x=*"
+
+    def test_half_open_mask(self, small_table):
+        item = IntervalItem("age", 22.0, 35.0)  # (22, 35]
+        assert list(item.mask(small_table)) == [
+            False, True, False, True, True, False,
+        ]
+
+    def test_one_sided_str(self):
+        assert str(IntervalItem("x", low=3)) == "x>3"
+        assert str(IntervalItem("x", high=3)) == "x<=3"
+        assert str(IntervalItem("x", low=3, closed_low=True)) == "x>=3"
+        assert str(IntervalItem("x", high=3, closed_high=False)) == "x<3"
+
+    def test_bounded_str(self):
+        assert str(IntervalItem("x", 1, 2)) == "x=(1-2]"
+        assert (
+            str(IntervalItem("x", 1, 2, closed_low=True, closed_high=False))
+            == "x=[1-2)"
+        )
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalItem("x", 2, 2)
+        with pytest.raises(ValueError):
+            IntervalItem("x", 3, 2)
+
+    def test_infinite_bound_closedness_normalized(self):
+        a = IntervalItem("x", high=5, closed_low=False)
+        b = IntervalItem("x", high=5, closed_low=True)
+        # closed_low at -inf is meaningless; both are (−inf, 5].
+        assert a == b
+
+    def test_covers_nested(self):
+        outer = IntervalItem("x", 0, 10)
+        inner = IntervalItem("x", 2, 5)
+        assert outer.covers(inner)
+        assert not inner.covers(outer)
+
+    def test_covers_boundary_closedness(self):
+        half_open = IntervalItem("x", 0, 10)           # (0, 10]
+        closed = IntervalItem("x", 0, 10, closed_low=True)  # [0, 10]
+        assert closed.covers(half_open)
+        assert not half_open.covers(closed)
+
+    def test_contains_value(self):
+        item = IntervalItem("x", 0, 1)  # (0, 1]
+        assert not item.contains_value(0.0)
+        assert item.contains_value(0.5)
+        assert item.contains_value(1.0)
+        assert not item.contains_value(math.nan)
+
+    def test_equality_and_hash(self):
+        assert IntervalItem("x", 0, 1) == IntervalItem("x", 0, 1)
+        assert hash(IntervalItem("x", 0, 1)) == hash(IntervalItem("x", 0, 1))
+        assert IntervalItem("x", 0, 1) != IntervalItem("x", 0, 2)
+
+
+class TestItemset:
+    def test_empty_is_whole_dataset(self, small_table):
+        assert Itemset().mask(small_table).all()
+        assert Itemset().support(small_table) == 1.0
+
+    def test_conjunction(self, small_table):
+        itemset = Itemset(
+            [CategoricalItem("sex", "M"), CategoricalItem("city", "LA")]
+        )
+        assert list(itemset.mask(small_table)) == [
+            False, False, True, False, False, True,
+        ]
+        assert itemset.support(small_table) == pytest.approx(2 / 6)
+
+    def test_one_item_per_attribute(self):
+        with pytest.raises(ValueError, match="at most one item"):
+            Itemset([CategoricalItem("c", "a"), CategoricalItem("c", "b")])
+
+    def test_union(self):
+        s = Itemset([CategoricalItem("c", "a")])
+        s2 = s.union(IntervalItem("x", 0, 1))
+        assert len(s2) == 2
+        assert len(s) == 1  # original unchanged
+
+    def test_union_conflicting_attribute_raises(self):
+        s = Itemset([CategoricalItem("c", "a")])
+        with pytest.raises(ValueError):
+            s.union(CategoricalItem("c", "b"))
+
+    def test_generalizes(self):
+        coarse = Itemset([IntervalItem("x", 0, 10)])
+        fine = Itemset([IntervalItem("x", 2, 5), CategoricalItem("c", "a")])
+        assert coarse.generalizes(fine)
+        assert not fine.generalizes(coarse)
+
+    def test_generalizes_requires_attribute_presence(self):
+        a = Itemset([IntervalItem("x", 0, 10)])
+        b = Itemset([CategoricalItem("c", "a")])
+        assert not a.generalizes(b)
+
+    def test_empty_generalizes_everything(self):
+        assert Itemset().generalizes(Itemset([CategoricalItem("c", "a")]))
+
+    def test_equality_hash_order_independent(self):
+        a = Itemset([CategoricalItem("c", "a"), IntervalItem("x", 0, 1)])
+        b = Itemset([IntervalItem("x", 0, 1), CategoricalItem("c", "a")])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_str_sorted(self):
+        s = Itemset([IntervalItem("x", 0, 1), CategoricalItem("c", "a")])
+        assert str(s) == "c=a, x=(0-1]"
+
+    def test_attributes(self):
+        s = Itemset([IntervalItem("x", 0, 1), CategoricalItem("c", "a")])
+        assert s.attributes == frozenset({"x", "c"})
+
+    def test_contains_and_iter(self):
+        item = CategoricalItem("c", "a")
+        s = Itemset([item])
+        assert item in s
+        assert list(s) == [item]
+
+    def test_support_empty_table(self):
+        assert Itemset().support(Table({})) == 0.0

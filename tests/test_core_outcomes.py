@@ -1,0 +1,150 @@
+"""Unit tests for outcome functions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.outcomes import (
+    Outcome,
+    accuracy_outcome,
+    array_outcome,
+    error_rate,
+    false_negative_rate,
+    false_positive_rate,
+    negative_predictive_value,
+    numeric_outcome,
+    precision_outcome,
+    true_negative_rate,
+    true_positive_rate,
+)
+from repro.tabular import Table
+
+
+@pytest.fixture
+def classified():
+    """y:    1 1 0 0 1 0
+       pred: 1 0 1 0 1 1   → TP TP/FN FP TN TP FP."""
+    return Table(
+        {
+            "y": ["1", "1", "0", "0", "1", "0"],
+            "pred": ["1", "0", "1", "0", "1", "1"],
+        }
+    )
+
+
+def test_fpr_values(classified):
+    out = false_positive_rate("y", "pred").values(classified)
+    # Defined only on negatives (rows 2, 3, 5): FP, TN, FP.
+    expected = [math.nan, math.nan, 1.0, 0.0, math.nan, 1.0]
+    np.testing.assert_array_equal(np.isnan(out), np.isnan(expected))
+    assert out[2] == 1.0 and out[3] == 0.0 and out[5] == 1.0
+    assert np.nanmean(out) == pytest.approx(2 / 3)
+
+
+def test_fnr_values(classified):
+    out = false_negative_rate("y", "pred").values(classified)
+    # Defined only on positives (rows 0, 1, 4): TP, FN, TP.
+    assert np.isnan(out[2]) and np.isnan(out[3]) and np.isnan(out[5])
+    assert out[0] == 0.0 and out[1] == 1.0 and out[4] == 0.0
+
+
+def test_tpr_is_complement_of_fnr(classified):
+    tpr = true_positive_rate("y", "pred").values(classified)
+    fnr = false_negative_rate("y", "pred").values(classified)
+    defined = ~np.isnan(tpr)
+    np.testing.assert_allclose(tpr[defined], 1.0 - fnr[defined])
+
+
+def test_tnr_is_complement_of_fpr(classified):
+    tnr = true_negative_rate("y", "pred").values(classified)
+    fpr = false_positive_rate("y", "pred").values(classified)
+    defined = ~np.isnan(tnr)
+    np.testing.assert_allclose(tnr[defined], 1.0 - fpr[defined])
+
+
+def test_precision_values(classified):
+    out = precision_outcome("y", "pred").values(classified)
+    # Predicted positives: rows 0, 2, 4, 5 → TP, FP, TP, FP.
+    assert out[0] == 1.0 and out[2] == 0.0 and out[4] == 1.0 and out[5] == 0.0
+    assert np.isnan(out[1]) and np.isnan(out[3])
+    assert np.nanmean(out) == pytest.approx(0.5)
+
+
+def test_npv_values(classified):
+    out = negative_predictive_value("y", "pred").values(classified)
+    # Predicted negatives: rows 1, 3 → FN, TN.
+    assert out[1] == 0.0 and out[3] == 1.0
+    defined = ~np.isnan(out)
+    assert list(np.nonzero(defined)[0]) == [1, 3]
+
+
+def test_error_rate_defined_everywhere(classified):
+    out = error_rate("y", "pred").values(classified)
+    assert not np.isnan(out).any()
+    assert list(out) == [0.0, 1.0, 1.0, 0.0, 0.0, 1.0]
+
+
+def test_accuracy_is_complement_of_error(classified):
+    err = error_rate("y", "pred").values(classified)
+    acc = accuracy_outcome("y", "pred").values(classified)
+    np.testing.assert_allclose(acc, 1.0 - err)
+
+
+def test_labels_survive_csv_type_change(tmp_path):
+    """Regression: after a CSV round-trip, "0"/"1" label columns are
+    re-inferred as continuous; rate outcomes must still decode them."""
+    from repro.tabular import read_csv, write_csv
+
+    t = Table({"y": ["1", "0", "0"], "p": ["1", "1", "0"]})
+    path = tmp_path / "labels.csv"
+    write_csv(t, path)
+    back = read_csv(path)
+    assert back.continuous_names == ["y", "p"]  # the type change
+    out = false_positive_rate("y", "p").values(back)
+    assert np.nanmean(out) == pytest.approx(0.5)
+    err = error_rate("y", "p").values(back)
+    assert list(err) == [0.0, 1.0, 0.0]
+
+
+def test_custom_positive_label():
+    t = Table({"y": ["yes", "no"], "p": ["yes", "yes"]})
+    out = false_positive_rate("y", "p", positive="yes").values(t)
+    assert np.isnan(out[0]) and out[1] == 1.0
+
+
+def test_numeric_outcome_reads_column():
+    t = Table({"income": [10.0, None, 30.0]})
+    out = numeric_outcome("income").values(t)
+    assert out[0] == 10.0 and np.isnan(out[1]) and out[2] == 30.0
+
+
+def test_numeric_outcome_name():
+    assert numeric_outcome("income").name == "income"
+    assert numeric_outcome("income", name="inc").name == "inc"
+
+
+def test_array_outcome_length_checked():
+    t = Table({"x": [1.0, 2.0]})
+    out = array_outcome(np.array([1.0]))
+    with pytest.raises(ValueError, match="length"):
+        out.values(t)
+
+
+def test_boolean_outcome_validates_values():
+    t = Table({"x": [1.0, 2.0]})
+    bad = Outcome("bad", lambda table: np.array([0.5, 1.0]), boolean=True)
+    with pytest.raises(ValueError, match="non-0/1"):
+        bad.values(t)
+
+
+def test_outcome_shape_checked():
+    t = Table({"x": [1.0, 2.0]})
+    bad = Outcome("bad", lambda table: np.array([0.0]), boolean=False)
+    with pytest.raises(ValueError, match="shape"):
+        bad.values(t)
+
+
+def test_repr_mentions_kind():
+    assert "boolean" in repr(error_rate("a", "b"))
+    assert "numeric" in repr(numeric_outcome("x"))

@@ -1,0 +1,190 @@
+"""Tests for the dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    compas,
+    compas_manual_items,
+    dataset_names,
+    folktables,
+    load_dataset,
+    synthetic_peak,
+)
+from repro.datasets.synthetic_peak import PEAK_MEAN, peak_flip_probability
+
+
+class TestRegistry:
+    def test_names(self):
+        assert dataset_names() == [
+            "adult", "bank", "compas", "folktables", "german", "intentions",
+            "synthetic-peak", "wine",
+        ]
+
+    def test_load_unknown(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("mnist")
+
+    def test_load_passes_kwargs(self):
+        ds = load_dataset("german", n_rows=123)
+        assert ds.table.n_rows == 123
+
+
+class TestShapes:
+    """Attribute shapes of Table II (row counts at default size)."""
+
+    @pytest.mark.parametrize(
+        "name, rows, num, cat",
+        [
+            ("adult", 45_222, 4, 7),
+            ("bank", 45_211, 7, 8),
+            ("compas", 6_172, 3, 3),
+            ("german", 1_000, 7, 14),
+            ("intentions", 12_330, 11, 6),
+            ("synthetic-peak", 10_000, 3, 0),
+            ("wine", 9_796, 11, 0),
+        ],
+    )
+    def test_table2_shapes(self, name, rows, num, cat):
+        ds = load_dataset(name)
+        assert ds.table.n_rows == rows
+        assert len(ds.continuous_features) == num
+        assert len(ds.categorical_features) == cat
+
+    def test_folktables_attributes(self):
+        ds = folktables(n_rows=2_000)
+        assert len(ds.feature_names) == 10
+        assert len(ds.continuous_features) == 2
+        assert len(ds.categorical_features) == 8
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["compas", "german", "synthetic-peak"])
+    def test_same_seed_same_data(self, name):
+        a = load_dataset(name)
+        b = load_dataset(name)
+        assert a.table.equals(b.table)
+
+    def test_different_seed_different_data(self):
+        a = synthetic_peak(seed=1)
+        b = synthetic_peak(seed=2)
+        assert not a.table.equals(b.table)
+
+
+class TestSyntheticPeak:
+    def test_flip_probability_peak_at_mean(self):
+        assert peak_flip_probability(PEAK_MEAN[None, :])[0] == pytest.approx(1.0)
+
+    def test_flip_probability_decays(self):
+        near = peak_flip_probability(np.array([[0.0, 1.0, 2.5]]))[0]
+        far = peak_flip_probability(np.array([[4.0, -4.0, -4.0]]))[0]
+        assert near > far
+
+    def test_coordinates_in_cube(self):
+        ds = synthetic_peak(n_rows=500)
+        for attr in ("a", "b", "c"):
+            values = ds.table.continuous(attr).values
+            assert values.min() >= -5.0 and values.max() <= 5.0
+
+    def test_error_concentrated_at_peak(self):
+        ds = synthetic_peak()
+        errors = ds.outcome().values(ds.table)
+        points = np.column_stack(
+            [ds.table.continuous(a).values for a in ("a", "b", "c")]
+        )
+        near = np.linalg.norm(points - PEAK_MEAN, axis=1) < 1.0
+        assert errors[near].mean() > 10 * errors[~near].mean()
+
+    def test_global_error_rate_matches_gaussian_mass(self):
+        # E[flip] = (2π)^(3/2) / 10³ ≈ 0.0157 over the [-5,5]³ cube.
+        ds = synthetic_peak()
+        errors = ds.outcome().values(ds.table)
+        assert errors.mean() == pytest.approx(0.0157, abs=0.005)
+
+    def test_labels_fair_coin(self):
+        ds = synthetic_peak()
+        labels = ds.table["class"].to_list()
+        assert np.mean([v == "1" for v in labels]) == pytest.approx(0.5, abs=0.02)
+
+
+class TestCompas:
+    def test_global_fpr_calibrated(self):
+        ds = compas()
+        fpr = np.nanmean(ds.outcome().values(ds.table))
+        assert fpr == pytest.approx(0.088, abs=0.01)
+
+    def test_planted_fpr_structure(self):
+        ds = compas()
+        outcomes = ds.outcome().values(ds.table)
+        priors = ds.table.continuous("#prior").values
+        high = np.nanmean(outcomes[priors > 8])
+        low = np.nanmean(outcomes[priors <= 3])
+        assert high > low + 0.15
+
+    def test_manual_items_cover(self):
+        ds = compas()
+        for attr, items in compas_manual_items().items():
+            total = np.zeros(ds.table.n_rows, dtype=int)
+            for item in items:
+                total += item.mask(ds.table).astype(int)
+            assert (total == 1).all(), attr
+
+    def test_outcome_kind(self):
+        ds = compas()
+        out = ds.outcome()
+        assert out.name == "fpr" and out.boolean
+
+
+class TestFolktables:
+    def test_hierarchies_present_and_valid(self):
+        ds = folktables(n_rows=3_000)
+        assert "OCCP" in ds.hierarchies and "POBP" in ds.hierarchies
+        ds.hierarchies.validate(ds.table)
+
+    def test_occupation_taxonomy_depth(self):
+        ds = folktables(n_rows=3_000)
+        h = ds.hierarchies["OCCP"]
+        assert any(h.depth(item) == 2 for item in h.items())
+
+    def test_planted_income_structure(self):
+        ds = folktables(n_rows=10_000)
+        income = ds.outcome().values(ds.table)
+        occ = np.asarray(ds.table["OCCP"].to_list())
+        age = ds.table.continuous("AGEP").values
+        sex = np.asarray(ds.table["SEX"].to_list())
+        manager = np.char.startswith(occ.astype(str), "MGR")
+        planted = manager & (age >= 35) & (sex == "Male")
+        assert np.nanmean(income[planted]) > np.nanmean(income) * 1.8
+
+    def test_numeric_outcome(self):
+        ds = folktables(n_rows=1_000)
+        assert not ds.outcome().boolean
+
+
+class TestUciGenerators:
+    @pytest.mark.parametrize("name", ["adult", "bank", "german", "intentions", "wine"])
+    def test_error_outcome_sane(self, name):
+        ds = load_dataset(name, n_rows=2_000)
+        err = np.nanmean(ds.outcome().values(ds.table))
+        assert 0.02 < err < 0.3
+
+    def test_label_and_pred_excluded_from_features(self):
+        ds = load_dataset("adult", n_rows=500)
+        assert "label" not in ds.feature_names
+        assert "pred" not in ds.feature_names
+
+    def test_fit_predictions_trains_forest(self):
+        ds = load_dataset("german", n_rows=600, fit_predictions=True)
+        err = np.nanmean(ds.outcome().values(ds.table))
+        # A trained forest errs more than the synthetic 3%-noise model
+        # but still far below chance.
+        assert 0.02 < err < 0.45
+
+    def test_planted_pocket_diverges(self):
+        ds = load_dataset("wine", n_rows=5_000)
+        errors = ds.outcome().values(ds.table)
+        va = ds.table.continuous("volatile_acidity").values
+        alc = ds.table.continuous("alcohol").values
+        so2 = ds.table.continuous("total_sulfur_dioxide").values
+        pocket = (va > 0.5) & (alc < 10.5) & (so2 > 120.0)
+        assert errors[pocket].mean() > errors.mean() + 0.1

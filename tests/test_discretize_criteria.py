@@ -1,0 +1,99 @@
+"""Unit tests for split gain criteria."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.discretize.criteria import (
+    divergence_gain,
+    entropy_gain,
+    get_criterion,
+)
+from repro.core.divergence import OutcomeStats, entropy
+
+
+def stats(values):
+    return OutcomeStats.from_outcomes(np.asarray(values, dtype=float))
+
+
+class TestEntropyGain:
+    def test_perfect_split_gain(self):
+        parent = stats([1, 1, 0, 0])
+        left = stats([1, 1])
+        right = stats([0, 0])
+        # Children are pure; gain is the parent's weighted entropy.
+        expected = 4 / 4 * entropy(parent)
+        assert entropy_gain(parent, left, right, 4) == pytest.approx(expected)
+
+    def test_useless_split_zero_gain(self):
+        parent = stats([1, 0, 1, 0])
+        left = stats([1, 0])
+        right = stats([1, 0])
+        assert entropy_gain(parent, left, right, 4) == pytest.approx(0.0)
+
+    def test_weighted_by_dataset_size(self):
+        parent = stats([1, 1, 0, 0])
+        left = stats([1, 1])
+        right = stats([0, 0])
+        g_small = entropy_gain(parent, left, right, 4)
+        g_large = entropy_gain(parent, left, right, 400)
+        assert g_large == pytest.approx(g_small / 100)
+
+    def test_non_negative(self, rng):
+        for _ in range(50):
+            data = (rng.uniform(size=30) < 0.4).astype(float)
+            cut = rng.integers(1, 29)
+            g = entropy_gain(
+                stats(data), stats(data[:cut]), stats(data[cut:]), 30
+            )
+            assert g >= 0.0
+
+    def test_hand_computed(self):
+        # Parent: 3 of 6 positive. Left: 2/2 positive. Right: 1/4.
+        parent = stats([1, 1, 1, 0, 0, 0])
+        left = stats([1, 1])
+        right = stats([1, 0, 0, 0])
+        h_parent = -(0.5 * math.log(0.5)) * 2
+        h_right = -(0.25 * math.log(0.25) + 0.75 * math.log(0.75))
+        expected = (6 * h_parent - 2 * 0.0 - 4 * h_right) / 6
+        assert entropy_gain(parent, left, right, 6) == pytest.approx(expected)
+
+
+class TestDivergenceGain:
+    def test_definition(self):
+        parent = stats([10.0, 20.0, 30.0, 40.0])  # mean 25
+        left = stats([10.0, 20.0])                # mean 15
+        right = stats([30.0, 40.0])               # mean 35
+        expected = 2 / 4 * 10 + 2 / 4 * 10
+        assert divergence_gain(parent, left, right, 4) == pytest.approx(expected)
+
+    def test_zero_when_means_equal(self):
+        parent = stats([5.0, 5.0, 5.0, 5.0])
+        assert divergence_gain(
+            parent, stats([5.0, 5.0]), stats([5.0, 5.0]), 4
+        ) == 0.0
+
+    def test_child_without_outcomes_contributes_zero(self):
+        parent = stats([1.0, 2.0])
+        left = stats([1.0, 2.0])
+        right = OutcomeStats(count=3, n=0, total=0.0, total_sq=0.0)
+        g = divergence_gain(parent, left, right, 5)
+        assert g == pytest.approx(2 / 5 * abs(1.5 - 1.5))
+
+    def test_undefined_parent_zero(self):
+        empty = OutcomeStats.empty()
+        assert divergence_gain(empty, empty, empty, 10) == 0.0
+
+    def test_works_on_non_probability_outcomes(self):
+        parent = stats([1e6, 2e6])
+        left = stats([1e6])
+        right = stats([2e6])
+        assert divergence_gain(parent, left, right, 2) > 0
+
+
+def test_get_criterion():
+    assert get_criterion("entropy") is entropy_gain
+    assert get_criterion("divergence") is divergence_gain
+    with pytest.raises(ValueError, match="unknown criterion"):
+        get_criterion("gini")

@@ -1,0 +1,105 @@
+"""Unit tests for quantile/uniform/manual discretization."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.discretize import manual_items, quantile_items, uniform_items
+from repro.tabular import Table
+
+
+def coverage_check(items, table):
+    """Every non-NaN row matches exactly one item."""
+    values = table.continuous(items[0].attribute).values
+    total = np.zeros(table.n_rows, dtype=int)
+    for item in items:
+        total += item.mask(table).astype(int)
+    finite = ~np.isnan(values)
+    assert (total[finite] == 1).all()
+    assert (total[~finite] == 0).all()
+
+
+class TestManual:
+    def test_edges_to_intervals(self):
+        items = manual_items("x", [1.0, 5.0])
+        assert [str(i) for i in items] == ["x<=1", "x=(1-5]", "x>5"]
+
+    def test_empty_edges_universal(self):
+        items = manual_items("x", [])
+        assert len(items) == 1 and items[0].is_universe
+
+    def test_duplicate_edges_collapsed(self):
+        items = manual_items("x", [1.0, 1.0, 2.0])
+        assert len(items) == 3
+
+    def test_unsorted_edges_sorted(self):
+        items = manual_items("x", [5.0, 1.0])
+        assert items[0].high == 1.0
+
+    def test_coverage(self, rng):
+        table = Table({"x": rng.normal(size=500)})
+        coverage_check(manual_items("x", [-1.0, 0.0, 1.0]), table)
+
+
+class TestQuantile:
+    def test_balanced_supports(self, rng):
+        table = Table({"x": rng.uniform(0, 1, 10_000)})
+        items = quantile_items(table, "x", 4)
+        assert len(items) == 4
+        for item in items:
+            assert item.mask(table).mean() == pytest.approx(0.25, abs=0.02)
+
+    def test_tied_values_collapse_bins(self):
+        # 90% zeros: most quantile edges coincide at 0.
+        table = Table({"x": [0.0] * 90 + list(range(1, 11))})
+        items = quantile_items(table, "x", 5)
+        assert 1 <= len(items) < 5
+        coverage_check(items, table)
+
+    def test_single_bin(self, rng):
+        table = Table({"x": rng.normal(size=100)})
+        items = quantile_items(table, "x", 1)
+        assert len(items) == 1 and items[0].is_universe
+
+    def test_all_nan_column(self):
+        table = Table({"x": [math.nan, math.nan]})
+        items = quantile_items(table, "x", 3)
+        assert len(items) == 1
+
+    def test_invalid_bins(self, rng):
+        table = Table({"x": rng.normal(size=10)})
+        with pytest.raises(ValueError):
+            quantile_items(table, "x", 0)
+
+    def test_coverage(self, rng):
+        x = rng.normal(size=300)
+        x[:30] = np.nan
+        table = Table({"x": x})
+        coverage_check(quantile_items(table, "x", 6), table)
+
+
+class TestUniform:
+    def test_equal_width(self):
+        table = Table({"x": [0.0, 10.0]})
+        items = uniform_items(table, "x", 4)
+        widths = [
+            i.high - i.low
+            for i in items
+            if math.isfinite(i.low) and math.isfinite(i.high)
+        ]
+        assert all(w == pytest.approx(2.5) for w in widths)
+
+    def test_constant_column(self):
+        table = Table({"x": [3.0] * 10})
+        items = uniform_items(table, "x", 4)
+        assert len(items) == 1
+
+    def test_coverage(self, rng):
+        table = Table({"x": rng.normal(size=400)})
+        coverage_check(uniform_items(table, "x", 7), table)
+
+    def test_invalid_bins(self):
+        table = Table({"x": [1.0]})
+        with pytest.raises(ValueError):
+            uniform_items(table, "x", 0)

@@ -1,0 +1,32 @@
+"""The shipped examples must run end-to-end (they rot otherwise)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "script, expected",
+    [
+        ("quickstart.py", "max |divergence|"),
+        ("fairness_audit.py", "hierarchical exploration reaches"),
+        ("model_debugging.py", "only the hierarchical search"),
+        ("income_analysis.py", "generalized exploration reaches"),
+        ("full_pipeline.py", "Shapley attribution"),
+        ("data_quality_audit.py", "survive resampling"),
+    ],
+)
+def test_example_runs(script, expected):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert expected in proc.stdout

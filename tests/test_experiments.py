@@ -1,0 +1,130 @@
+"""Tests for the experiment harness and fast paper artifacts.
+
+The heavyweight sweeps (Figures 2-4) run in benchmarks/; here we cover
+the harness plumbing and the fast artifacts end-to-end on small data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import load_context, render_table, run_base, run_hierarchical
+from repro.experiments.figures import (
+    figure1,
+    figure5,
+    figure6,
+    figure8,
+    table1,
+    table3,
+)
+from repro.experiments.harness import BENCH_SIZES, run_manual, run_quantile_base
+
+
+@pytest.fixture(scope="module")
+def compas_ctx():
+    return load_context("compas")
+
+
+@pytest.fixture(scope="module")
+def peak_ctx():
+    return load_context("synthetic-peak", n_rows=4_000)
+
+
+class TestHarness:
+    def test_load_context_scales(self):
+        ctx = load_context("wine")
+        assert ctx.dataset.table.n_rows == BENCH_SIZES["wine"]
+
+    def test_load_context_unscaled(self):
+        ctx = load_context("wine", scaled=False)
+        assert ctx.dataset.table.n_rows == 9_796
+
+    def test_explicit_rows_beat_scaling(self):
+        ctx = load_context("wine", n_rows=1_234)
+        assert ctx.dataset.table.n_rows == 1_234
+
+    def test_leaf_items_cached(self, compas_ctx):
+        a = compas_ctx.leaf_items(0.1, "divergence")
+        b = compas_ctx.leaf_items(0.1, "divergence")
+        assert a is b
+        c = compas_ctx.leaf_items(0.2, "divergence")
+        assert c is not a
+
+    def test_run_base_vs_hier_superset(self, compas_ctx):
+        base = run_base(compas_ctx, 0.1)
+        hier = run_hierarchical(compas_ctx, 0.1)
+        assert base.itemsets() <= hier.itemsets()
+
+    def test_run_manual_compas_only(self, peak_ctx):
+        with pytest.raises(ValueError):
+            run_manual(peak_ctx, 0.1)
+
+    def test_run_quantile(self, peak_ctx):
+        result = run_quantile_base(peak_ctx, 0.1, n_bins=4)
+        assert len(result) > 0
+
+    def test_global_mean(self, compas_ctx):
+        assert compas_ctx.global_mean() == pytest.approx(
+            float(np.nanmean(compas_ctx.outcomes))
+        )
+
+
+class TestFastArtifacts:
+    def test_table1_shape(self, compas_ctx):
+        headers, rows = table1(compas_ctx)
+        assert len(headers) == 4
+        assert rows[0][0] == "Entire dataset"
+        assert rows[0][2] == 0.0  # whole dataset diverges from itself by 0
+
+    def test_figure1_is_a_tree(self, compas_ctx):
+        text = figure1(compas_ctx)
+        assert text.splitlines()[0].startswith("#prior=*")
+
+    def test_table3_settings_present(self, compas_ctx):
+        headers, rows = table3(supports=(0.05,), ctx=compas_ctx)
+        labels = {r[1] for r in rows}
+        assert labels == {
+            "Manual discretization",
+            "Tree discretization, base",
+            "Tree discretization, generalized",
+        }
+
+    def test_figure5_rows(self, peak_ctx):
+        headers, rows = figure5(supports=(0.05,), ctx=peak_ctx)
+        assert len(rows) == 2
+        settings = {r[1] for r in rows}
+        assert settings == {"base", "generalized"}
+
+    def test_figure6_threshold_column(self, peak_ctx):
+        headers, rows = figure6(thresholds=(0.4,), ctx=peak_ctx)
+        assert rows[0][0] == 0.4
+
+    def test_figure8_series(self, compas_ctx):
+        headers, rows = figure8(
+            datasets=("compas",), st_values=(0.1, 0.2),
+            contexts={"compas": compas_ctx},
+        )
+        assert len(rows) == 2
+        for _name, _st, base_d, hier_d in rows:
+            assert hier_d >= base_d - 1e-9
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        text = render_table(("a", "long header"), [(1, 2.5), (10, 0.25)])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = render_table(("a",), [(1,)], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(("a",), [(1, 2)])
+
+    def test_float_formats(self):
+        text = render_table(("x",), [(123456.0,), (float("nan"),), (None,)])
+        assert "123,456" in text
+        assert "nan" in text

@@ -1,0 +1,109 @@
+"""White-box tests for FP-Growth internals (single-path shortcut)."""
+
+import numpy as np
+import pytest
+
+from repro.core.items import CategoricalItem
+from repro.core.mining import EncodedUniverse, mine_apriori, mine_fpgrowth
+from repro.tabular import Table
+
+
+def universe_from_rows(rows, outcome=None):
+    """Build a universe where row i is a set of 'aK=v' style items."""
+    attrs = sorted({a for row in rows for a, _v in row})
+    columns = {
+        a: [dict(row).get(a) for row in rows] for a in attrs
+    }
+    table = Table(columns)
+    items = []
+    for a in attrs:
+        values = sorted({v for row in rows for x, v in row if x == a})
+        items.extend(CategoricalItem(a, v) for v in values)
+    o = np.ones(len(rows)) if outcome is None else np.asarray(outcome, float)
+    return EncodedUniverse.from_table(table, items, o)
+
+
+def ids_to_names(universe, mined):
+    return {
+        frozenset(str(universe.items[i]) for i in m.ids): m.stats.count
+        for m in mined
+    }
+
+
+class TestSinglePath:
+    def test_nested_single_path_tree(self):
+        """Rows forming one nested chain: a ⊃ ab ⊃ abc."""
+        rows = [
+            [("a", "1")],
+            [("a", "1"), ("b", "1")],
+            [("a", "1"), ("b", "1"), ("c", "1")],
+            [("a", "1"), ("b", "1"), ("c", "1")],
+        ]
+        universe = universe_from_rows(rows)
+        fp = ids_to_names(universe, mine_fpgrowth(universe, 0.25))
+        ap = ids_to_names(universe, mine_apriori(universe, 0.25))
+        assert fp == ap
+        assert fp[frozenset({"a=1"})] == 4
+        assert fp[frozenset({"a=1", "b=1", "c=1"})] == 2
+
+    def test_single_path_with_same_attribute_items(self):
+        """Ancestor-style chains (two items of one attribute per row)
+        must not combine in the single-path shortcut."""
+        table = Table({"x": ["u", "u", "u"], "y": ["w", "w", "w"]})
+        coarse = CategoricalItem("x", {"u", "v"}, label="uv")
+        fine = CategoricalItem("x", "u")
+        other = CategoricalItem("y", "w")
+        universe = EncodedUniverse.from_table(
+            table, [coarse, fine, other], np.ones(3)
+        )
+        mined = mine_fpgrowth(universe, 0.5)
+        names = ids_to_names(universe, mined)
+        assert frozenset({"x=uv", "x=u"}) not in names
+        assert frozenset({"x=uv", "y=w"}) in names
+        assert frozenset({"x=u", "y=w"}) in names
+        # Same lattice as Apriori.
+        assert names == ids_to_names(universe, mine_apriori(universe, 0.5))
+
+    def test_single_path_respects_max_length(self):
+        rows = [[("a", "1"), ("b", "1"), ("c", "1")]] * 4
+        universe = universe_from_rows(rows)
+        mined = mine_fpgrowth(universe, 0.5, max_length=2)
+        assert max(len(m.ids) for m in mined) == 2
+
+    def test_single_path_stats_are_deepest_node(self):
+        outcome = [1.0, 0.0, 1.0, np.nan]
+        rows = [
+            [("a", "1"), ("b", "1")],
+            [("a", "1"), ("b", "1")],
+            [("a", "1")],
+            [("a", "1"), ("b", "1")],
+        ]
+        universe = universe_from_rows(rows, outcome)
+        mined = {
+            frozenset(str(universe.items[i]) for i in m.ids): m.stats
+            for m in mine_fpgrowth(universe, 0.25)
+        }
+        ab = mined[frozenset({"a=1", "b=1"})]
+        assert ab.count == 3
+        assert ab.n == 2          # rows 0, 1 defined; row 3 is NaN
+        assert ab.total == pytest.approx(1.0)
+
+    def test_conditional_single_path_matches_apriori(self, rng):
+        """Random sparse data exercising conditional single paths."""
+        n = 120
+        rows = []
+        for _ in range(n):
+            row = []
+            if rng.uniform() < 0.9:
+                row.append(("a", "1"))
+            if rng.uniform() < 0.6:
+                row.append(("b", "1"))
+            if rng.uniform() < 0.3:
+                row.append(("c", "1"))
+            if not row:
+                row.append(("d", "1"))
+            rows.append(row)
+        universe = universe_from_rows(rows, rng.uniform(size=n))
+        fp = ids_to_names(universe, mine_fpgrowth(universe, 0.05))
+        ap = ids_to_names(universe, mine_apriori(universe, 0.05))
+        assert fp == ap

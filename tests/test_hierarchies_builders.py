@@ -1,0 +1,193 @@
+"""Unit tests for taxonomy / prefix / FD hierarchy builders."""
+
+import pytest
+
+from repro.core.items import CategoricalItem
+from repro.hierarchies import (
+    fd_hierarchies,
+    find_functional_dependencies,
+    prefix_hierarchy,
+    taxonomy_hierarchy,
+)
+from repro.hierarchies.fd import fd_mapping
+from repro.tabular import Table
+
+
+class TestTaxonomy:
+    def test_two_level(self):
+        h = taxonomy_hierarchy(
+            "occ",
+            ["MGR-A", "MGR-B", "SVC-A", "SVC-B"],
+            {"MGR-A": "MGR", "MGR-B": "MGR", "SVC-A": "SVC", "SVC-B": "SVC"},
+        )
+        assert len(h.leaves()) == 4
+        internal = [i for i in h.items(include_root=False) if not h.is_leaf(i)]
+        assert {i.label for i in internal} == {"MGR", "SVC"}
+
+    def test_three_level_chain(self):
+        h = taxonomy_hierarchy(
+            "geo",
+            ["LA", "SF", "NYC", "BOS"],
+            {"LA": "CA", "SF": "CA", "NYC": "NY", "BOS": "MA",
+             "CA": "US-West", "NY": "US-East", "MA": "US-East"},
+        )
+        la = CategoricalItem("geo", "LA")
+        # CA and US-West cover the same leaves {LA, SF}; levels with
+        # identical value sets collapse, keeping the outer label.
+        assert [a.label for a in h.ancestors(la)[:-1]] == ["US-West"]
+
+    def test_three_level_chain_distinct_levels_survive(self):
+        h = taxonomy_hierarchy(
+            "geo",
+            ["LA", "SF", "PDX", "NYC"],
+            {"LA": "CA", "SF": "CA", "PDX": "OR",
+             "CA": "US-West", "OR": "US-West", "NYC": "US-East"},
+        )
+        la = CategoricalItem("geo", "LA")
+        assert [a.label for a in h.ancestors(la)[:-1]] == ["CA", "US-West"]
+
+    def test_unmapped_leaves_hang_off_root(self):
+        h = taxonomy_hierarchy("c", ["a", "b", "c"], {"a": "G", "b": "G"})
+        assert CategoricalItem("c", "c") in h.children[h.root]
+
+    def test_partition_validates(self):
+        table = Table({"c": ["a", "b", "c", "a", "c"]})
+        h = taxonomy_hierarchy("c", ["a", "b", "c"], {"a": "G", "b": "G"})
+        h.validate(table)
+
+    def test_single_child_chain_collapsed(self):
+        h = taxonomy_hierarchy("c", ["a", "b"], {"a": "OnlyA", "b": "OnlyB"})
+        # Each group covers exactly one leaf -> collapses to depth 1.
+        assert len(h.items(include_root=False)) == 2
+
+    def test_cycle_detected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            taxonomy_hierarchy("c", ["a"], {"a": "g1", "g1": "g2", "g2": "g1"})
+
+    def test_empty_leaves_rejected(self):
+        with pytest.raises(ValueError):
+            taxonomy_hierarchy("c", [], {})
+
+    def test_group_item_values_cover_members(self):
+        h = taxonomy_hierarchy(
+            "c", ["a1", "a2", "b1"], {"a1": "A", "a2": "A", "b1": "B"}
+        )
+        group_a = next(
+            i for i in h.items() if isinstance(i, CategoricalItem)
+            and i.label == "A"
+        )
+        assert group_a.values == frozenset({"a1", "a2"})
+
+
+class TestPrefix:
+    def test_ip_style(self):
+        h = prefix_hierarchy(
+            "ip",
+            ["10.0.0.1", "10.0.0.2", "10.0.1.1", "10.1.0.1", "192.168.0.1"],
+        )
+        leaf = CategoricalItem("ip", "10.0.0.1")
+        labels = [a.label for a in h.ancestors(leaf)[:-1]]
+        assert labels == ["10.0.0", "10.0", "10"]
+
+    def test_singleton_prefix_levels_collapse(self):
+        # 10.0.1.1 is alone under 10.0.1 (merges into the leaf item),
+        # and 10.0 covers the same addresses as 10 (merges upward), so
+        # a single ancestor level survives.
+        h = prefix_hierarchy("ip", ["10.0.1.1", "10.0.2.2", "11.1.1.1"])
+        leaf = CategoricalItem("ip", "10.0.1.1")
+        labels = [a.label for a in h.ancestors(leaf)[:-1]]
+        assert labels == ["10"]
+
+    def test_geographic_paths(self):
+        h = prefix_hierarchy(
+            "pob", ["NA/US/CA", "NA/US/TX", "NA/MX", "EU/DE"], separator="/"
+        )
+        ca = CategoricalItem("pob", "NA/US/CA")
+        labels = [a.label for a in h.ancestors(ca)[:-1]]
+        assert labels == ["NA/US", "NA"]
+
+    def test_max_levels(self):
+        h = prefix_hierarchy("ip", ["1.2.3.4", "1.2.9.9", "7.5.5.5"],
+                             max_levels=1)
+        leaf = CategoricalItem("ip", "1.2.3.4")
+        labels = [a.label for a in h.ancestors(leaf)[:-1]]
+        assert labels == ["1"]
+
+    def test_partition_validates(self):
+        values = ["10.0.0.1", "10.0.1.1", "10.1.0.1", "192.168.0.1"]
+        table = Table({"ip": values * 3})
+        prefix_hierarchy("ip", values).validate(table)
+
+    def test_values_without_separator(self):
+        h = prefix_hierarchy("c", ["aaa", "bbb"])
+        assert len(h.leaves()) == 2
+
+
+class TestFunctionalDependencies:
+    @pytest.fixture
+    def geo_table(self):
+        return Table(
+            {
+                "city": ["LA", "SF", "NYC", "LA", "BOS", "SEA"],
+                "state": ["CA", "CA", "NY", "CA", "MA", "WA"],
+                "region": ["West", "West", "East", "West", "East", "West"],
+            }
+        )
+
+    def test_find_fds(self, geo_table):
+        fds = find_functional_dependencies(geo_table)
+        assert ("city", "state") in fds
+        assert ("city", "region") in fds
+        assert ("state", "region") in fds
+        assert ("state", "city") not in fds
+
+    def test_no_fd_when_violated(self):
+        t = Table({"a": ["x", "x"], "b": ["1", "2"]})
+        fds = find_functional_dependencies(t)
+        # a does not determine b; b trivially determines the coarser a.
+        assert ("a", "b") not in fds
+        assert ("b", "a") in fds
+
+    def test_equal_cardinality_not_reported(self):
+        t = Table({"a": ["x", "y"], "b": ["1", "2"]})
+        assert find_functional_dependencies(t) == []
+
+    def test_missing_values_ignored(self):
+        # With the missing cell ignored, a -> b holds and b is coarser.
+        t = Table(
+            {
+                "a": ["x", "x", "y", "y", "z", "z"],
+                "b": ["1", None, "1", "1", "2", "2"],
+            }
+        )
+        fds = find_functional_dependencies(t, ["a", "b"])
+        assert ("a", "b") in fds
+
+    def test_fd_mapping(self, geo_table):
+        mapping = fd_mapping(geo_table, "city", "state")
+        assert mapping == {
+            "LA": "CA", "SF": "CA", "NYC": "NY", "BOS": "MA", "SEA": "WA",
+        }
+
+    def test_fd_mapping_rejects_non_fd(self):
+        t = Table({"a": ["x", "x"], "b": ["1", "2"]})
+        with pytest.raises(ValueError):
+            fd_mapping(t, "a", "b")
+
+    def test_hierarchy_levels_chain(self, geo_table):
+        hs = fd_hierarchies(geo_table)
+        assert "city" in hs
+        city_h = hs["city"]
+        la = CategoricalItem("city", "LA")
+        labels = [a.label for a in city_h.ancestors(la)[:-1]]
+        assert labels == ["state=CA", "region=West"]
+        city_h.validate(geo_table)
+
+    def test_state_hierarchy_one_level(self, geo_table):
+        hs = fd_hierarchies(geo_table)
+        assert "state" in hs
+        hs["state"].validate(geo_table)
+
+    def test_no_hierarchy_for_coarsest(self, geo_table):
+        hs = fd_hierarchies(geo_table)
+        assert "region" not in hs

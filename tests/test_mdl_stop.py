@@ -1,0 +1,71 @@
+"""Tests for the MDLP stopping rule (Fayyad–Irani)."""
+
+import numpy as np
+import pytest
+
+from repro.core.discretize import TreeDiscretizer
+from repro.core.discretize.criteria import mdl_accepts
+from repro.core.divergence import OutcomeStats
+from repro.tabular import Table
+
+
+def stats(values):
+    return OutcomeStats.from_outcomes(np.asarray(values, dtype=float))
+
+
+class TestMdlAccepts:
+    def test_accepts_clean_separation(self):
+        parent = stats([1.0] * 50 + [0.0] * 50)
+        left = stats([1.0] * 50)
+        right = stats([0.0] * 50)
+        assert mdl_accepts(parent, left, right)
+
+    def test_rejects_pure_noise_split(self):
+        rng = np.random.default_rng(0)
+        data = (rng.uniform(size=200) < 0.5).astype(float)
+        parent = stats(data)
+        left = stats(data[:100])
+        right = stats(data[100:])
+        assert not mdl_accepts(parent, left, right)
+
+    def test_rejects_tiny_sets(self):
+        assert not mdl_accepts(stats([1.0]), stats([1.0]), stats([]))
+
+
+class TestMdlTree:
+    def test_mdl_prunes_noise_splits(self, rng):
+        """On a step function + noise, MDL stops at (roughly) the step
+        while the support-only rule keeps splitting."""
+        n = 3000
+        x = rng.uniform(0, 10, n)
+        o = ((x > 6) ^ (rng.uniform(size=n) < 0.05)).astype(float)
+        table = Table({"x": x})
+        plain = TreeDiscretizer(0.02, criterion="entropy").fit(table, "x", o)
+        mdl = TreeDiscretizer(
+            0.02, criterion="entropy", mdl_stop=True
+        ).fit(table, "x", o)
+        assert len(mdl.leaf_items()) < len(plain.leaf_items())
+        assert len(mdl.leaf_items()) <= 4
+        # The informative split is still taken.
+        assert mdl.root.split_value == pytest.approx(6.0, abs=0.2)
+
+    def test_mdl_keeps_real_structure(self, rng):
+        n = 3000
+        x = rng.uniform(0, 9, n)
+        o = (np.floor(x / 3) % 2 == 1).astype(float)  # stripes at 3, 6
+        table = Table({"x": x})
+        mdl = TreeDiscretizer(
+            0.05, criterion="entropy", mdl_stop=True
+        ).fit(table, "x", o)
+        assert len(mdl.leaf_items()) >= 3
+
+    def test_mdl_requires_entropy_criterion(self):
+        with pytest.raises(ValueError, match="entropy"):
+            TreeDiscretizer(0.1, criterion="divergence", mdl_stop=True)
+
+    def test_mdl_constant_outcome_single_leaf(self, rng):
+        table = Table({"x": rng.uniform(0, 1, 400)})
+        tree = TreeDiscretizer(
+            0.05, criterion="entropy", mdl_stop=True
+        ).fit(table, "x", np.ones(400))
+        assert tree.root.is_leaf

@@ -1,0 +1,90 @@
+"""Targeted tests for remaining corners of the public surface."""
+
+import numpy as np
+import pytest
+
+from repro import __version__
+from repro.core.hierarchy import flat_hierarchy
+from repro.core.items import IntervalItem
+from repro.datasets import load_dataset
+from repro.tabular import Table
+
+
+def test_version_string():
+    assert __version__.count(".") == 2
+
+
+def test_flat_hierarchy_single_universal_item():
+    universal = IntervalItem("x")
+    h = flat_hierarchy("x", [universal])
+    assert h.root == universal
+    assert h.is_leaf(h.root)
+    assert len(h) == 1
+
+
+def test_public_api_exports():
+    import repro
+
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+@pytest.mark.parametrize("name", ["adult", "intentions"])
+def test_fit_predictions_small(name):
+    ds = load_dataset(name, n_rows=400, fit_predictions=True)
+    err = np.nanmean(ds.outcome().values(ds.table))
+    assert 0.0 <= err < 0.5
+
+
+def test_dataset_features_table_excludes_labels():
+    ds = load_dataset("compas", n_rows=300)
+    features = ds.features()
+    assert "two_year_recid" not in features
+    assert "predicted_recid" not in features
+    assert features.n_rows == 300
+
+
+def test_dataset_repr_counts():
+    ds = load_dataset("compas", n_rows=300)
+    assert "num=3" in repr(ds) and "cat=3" in repr(ds)
+
+
+def test_outcome_factory_errors():
+    from repro.datasets.base import Dataset
+
+    ds = Dataset(
+        name="broken",
+        table=Table({"x": [1.0]}),
+        outcome_kind="fpr",
+        feature_names=["x"],
+    )
+    with pytest.raises(ValueError, match="y_true"):
+        ds.outcome()
+    ds2 = Dataset(
+        name="broken2",
+        table=Table({"x": [1.0]}),
+        outcome_kind="numeric",
+        feature_names=["x"],
+    )
+    with pytest.raises(ValueError, match="target"):
+        ds2.outcome()
+    ds3 = Dataset(
+        name="broken3",
+        table=Table({"x": [1.0]}),
+        outcome_kind="magic",
+        feature_names=["x"],
+    )
+    with pytest.raises(ValueError, match="unknown outcome kind"):
+        ds3.outcome()
+
+
+def test_cli_generate_seed(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "a.csv"
+    out2 = tmp_path / "b.csv"
+    main(["generate", "german", "--out", str(out), "--rows", "50",
+          "--seed", "3"])
+    main(["generate", "german", "--out", str(out2), "--rows", "50",
+          "--seed", "3"])
+    assert out.read_text() == out2.read_text()

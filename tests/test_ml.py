@@ -1,0 +1,236 @@
+"""Unit tests for the ML substrate."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    RandomForestClassifier,
+    TableEncoder,
+    accuracy_score,
+    confusion_counts,
+    train_test_split,
+)
+from repro.ml.metrics import rates_from_counts
+from repro.tabular import Table
+
+
+@pytest.fixture
+def xor_data(rng):
+    n = 2000
+    X = rng.uniform(-1, 1, size=(n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    return X, y
+
+
+class TestDecisionTree:
+    def test_learns_xor(self, xor_data):
+        # XOR has no single impurity-reducing split; zero-gain splits
+        # must be accepted, and min_samples_leaf keeps the greedy
+        # search away from noise slivers.
+        X, y = xor_data
+        tree = DecisionTreeClassifier(max_depth=8, min_samples_leaf=20)
+        tree.fit(X, y)
+        assert accuracy_score(y, tree.predict(X)) > 0.95
+
+    def test_pure_data_single_leaf(self):
+        X = np.zeros((10, 1))
+        y = np.ones(10, dtype=int)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.depth() == 0
+        assert (tree.predict(X) == 1).all()
+
+    def test_max_depth_respected(self, xor_data):
+        X, y = xor_data
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert tree.depth() <= 2
+
+    def test_min_samples_leaf(self, xor_data):
+        X, y = xor_data
+        tree = DecisionTreeClassifier(min_samples_leaf=400).fit(X, y)
+        # Few splits possible when each side needs 400 samples.
+        assert tree.depth() <= 3
+
+    def test_proba_rows_sum_to_one(self, xor_data):
+        X, y = xor_data
+        tree = DecisionTreeClassifier(max_depth=5).fit(X, y)
+        proba = tree.predict_proba(X[:50])
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_multiclass(self, rng):
+        X = rng.uniform(0, 3, size=(600, 1))
+        y = X[:, 0].astype(int)  # 3 classes by thresholds
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert accuracy_score(y, tree.predict(X)) > 0.95
+        assert tree.n_classes_ == 3
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict(np.zeros((1, 1)))
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros(3), np.zeros(3))
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((3, 1)), np.zeros(2))
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((0, 1)), np.zeros(0))
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(
+                np.zeros((2, 1)), np.array([-1, 0])
+            )
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_split=1)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_leaf=0)
+
+    def test_no_split_on_constant_features(self):
+        X = np.ones((50, 2))
+        y = np.array([0, 1] * 25)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.depth() == 0
+
+
+class TestRandomForest:
+    def test_beats_single_stump_on_xor(self, xor_data):
+        X, y = xor_data
+        forest = RandomForestClassifier(
+            n_estimators=15, max_depth=8, min_samples_leaf=20, seed=1
+        )
+        forest.fit(X, y)
+        assert accuracy_score(y, forest.predict(X)) > 0.9
+
+    def test_deterministic_given_seed(self, xor_data):
+        X, y = xor_data
+        a = RandomForestClassifier(n_estimators=5, seed=7).fit(X, y).predict(X)
+        b = RandomForestClassifier(n_estimators=5, seed=7).fit(X, y).predict(X)
+        np.testing.assert_array_equal(a, b)
+
+    def test_proba_shape(self, xor_data):
+        X, y = xor_data
+        forest = RandomForestClassifier(n_estimators=3, max_depth=3).fit(X, y)
+        assert forest.predict_proba(X[:10]).shape == (10, 2)
+
+    def test_no_bootstrap_mode(self, xor_data):
+        X, y = xor_data
+        forest = RandomForestClassifier(
+            n_estimators=3, max_depth=8, min_samples_leaf=20,
+            bootstrap=False, seed=2,
+        ).fit(X, y)
+        assert accuracy_score(y, forest.predict(X)) > 0.8
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict_proba(np.zeros((1, 1)))
+
+    def test_bootstrap_missing_class_regression(self):
+        """A rare class can vanish from a bootstrap sample; leaf
+        distributions must still use the full class dimension."""
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(25, 2))
+        y = np.zeros(25, dtype=int)
+        y[0] = 2  # class 2 appears once; many bootstraps will miss it
+        forest = RandomForestClassifier(n_estimators=10, seed=0).fit(X, y)
+        proba = forest.predict_proba(X)
+        assert proba.shape == (25, 3)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_tree_n_classes_override(self):
+        from repro.ml import DecisionTreeClassifier
+
+        X = np.zeros((4, 1))
+        y = np.array([0, 0, 1, 1])
+        tree = DecisionTreeClassifier().fit(X, y, n_classes=5)
+        assert tree.predict_proba(X).shape == (4, 5)
+        with pytest.raises(ValueError, match="smaller"):
+            DecisionTreeClassifier().fit(X, y, n_classes=1)
+
+    def test_invalid_estimators(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+
+class TestTableEncoder:
+    def test_encodes_mixed(self, small_table):
+        enc = TableEncoder(["age", "sex"])
+        X = enc.fit_transform(small_table)
+        assert X.shape == (6, 2)
+        assert X[0, 0] == 22.0
+        assert set(X[:, 1]) <= {0.0, 1.0}
+
+    def test_nan_imputed_with_median(self):
+        t = Table({"x": [1.0, None, 3.0]})
+        X = TableEncoder(["x"]).fit_transform(t)
+        assert X[1, 0] == 2.0
+
+    def test_unseen_category_maps_to_minus_one(self):
+        train = Table({"c": ["a", "b"]})
+        test = Table({"c": ["a", "zz"]})
+        enc = TableEncoder(["c"]).fit(train)
+        X = enc.transform(test)
+        assert X[1, 0] == -1.0
+
+    def test_missing_category_maps_to_minus_one(self):
+        t = Table({"c": ["a", None]})
+        X = TableEncoder(["c"]).fit_transform(t)
+        assert X[1, 0] == -1.0
+
+    def test_transform_before_fit_raises(self, small_table):
+        with pytest.raises(RuntimeError):
+            TableEncoder(["age"]).transform(small_table)
+
+    def test_empty_features_rejected(self):
+        with pytest.raises(ValueError):
+            TableEncoder([])
+
+    def test_type_change_detected(self, small_table):
+        enc = TableEncoder(["age"]).fit(small_table)
+        changed = small_table.with_values("age", ["a"] * 6)
+        with pytest.raises(TypeError):
+            enc.transform(changed)
+
+
+class TestSplit:
+    def test_sizes(self, small_table):
+        train, test, itr, ite = train_test_split(small_table, 1 / 3, seed=0)
+        assert train.n_rows == 4 and test.n_rows == 2
+        assert len(set(itr) | set(ite)) == 6
+        assert not set(itr) & set(ite)
+
+    def test_indices_align(self, small_table):
+        train, _test, itr, _ite = train_test_split(small_table, 0.5, seed=1)
+        ages = small_table["age"].to_list()
+        assert train["age"].to_list() == [ages[i] for i in itr]
+
+    def test_invalid_test_size(self, small_table):
+        with pytest.raises(ValueError):
+            train_test_split(small_table, 0.0)
+        with pytest.raises(ValueError):
+            train_test_split(small_table, 1.0)
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy_score([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+
+    def test_accuracy_validation(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1], [1, 2])
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+    def test_confusion(self):
+        counts = confusion_counts([1, 1, 0, 0], [1, 0, 1, 0])
+        assert counts == {"tp": 1, "fn": 1, "fp": 1, "tn": 1}
+
+    def test_rates(self):
+        rates = rates_from_counts({"tp": 3, "fp": 1, "tn": 4, "fn": 2})
+        assert rates["fpr"] == pytest.approx(1 / 5)
+        assert rates["tpr"] == pytest.approx(3 / 5)
+        assert rates["accuracy"] == pytest.approx(7 / 10)
+
+    def test_rates_zero_denominator_nan(self):
+        import math
+
+        rates = rates_from_counts({"tp": 0, "fp": 0, "tn": 0, "fn": 0})
+        assert math.isnan(rates["fpr"])

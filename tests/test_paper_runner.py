@@ -1,0 +1,24 @@
+"""Tests for the one-shot paper-artifact runner."""
+
+import pytest
+
+from repro.experiments.paper import main
+
+
+@pytest.mark.slow
+def test_fast_pass_selected_artifacts(tmp_path, capsys):
+    code = main(
+        ["--fast", "--only", "table1", "figure6", "--out", str(tmp_path)]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out
+    assert "Slice Finder" in out
+    assert (tmp_path / "table1.txt").exists()
+    assert (tmp_path / "figure6.txt").exists()
+
+
+@pytest.mark.slow
+def test_unknown_only_filter_runs_nothing(capsys):
+    assert main(["--fast", "--only", "nonexistent"]) == 0
+    assert "=" * 10 not in capsys.readouterr().out

@@ -1,0 +1,127 @@
+"""Property-based tests for discretization (invariants 1 and 2)."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.discretize import (
+    TreeDiscretizer,
+    manual_items,
+    quantile_items,
+    uniform_items,
+)
+from repro.tabular import Table
+
+
+@st.composite
+def continuous_column(draw):
+    n = draw(st.integers(20, 300))
+    seed = draw(st.integers(0, 2**16))
+    kind = draw(st.sampled_from(["uniform", "normal", "ties", "with_nan"]))
+    rng = np.random.default_rng(seed)
+    if kind == "uniform":
+        x = rng.uniform(-10, 10, n)
+    elif kind == "normal":
+        x = rng.normal(0, 3, n)
+    elif kind == "ties":
+        x = rng.integers(0, 5, n).astype(float)
+    else:
+        x = rng.uniform(-10, 10, n)
+        x[rng.uniform(size=n) < 0.2] = np.nan
+    return Table({"x": x})
+
+
+@st.composite
+def outcome_for(draw, n):
+    seed = draw(st.integers(0, 2**16))
+    boolean = draw(st.booleans())
+    rng = np.random.default_rng(seed)
+    if boolean:
+        o = (rng.uniform(size=n) < 0.3).astype(float)
+    else:
+        o = rng.normal(0, 10, n)
+    if draw(st.booleans()):
+        o[rng.uniform(size=n) < 0.2] = np.nan
+    return o
+
+
+@st.composite
+def table_and_outcome(draw):
+    table = draw(continuous_column())
+    return table, draw(outcome_for(table.n_rows))
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=table_and_outcome(), st_support=st.sampled_from([0.1, 0.25, 0.4]))
+def test_tree_invariants(data, st_support):
+    table, outcomes = data
+    tree = TreeDiscretizer(st_support, criterion="divergence").fit(
+        table, "x", outcomes
+    )
+    n_total = table.n_rows
+    min_count = math.ceil(st_support * n_total)
+    values = table.continuous("x").values
+    finite = ~np.isnan(values)
+
+    # Invariant: every node satisfies the support constraint (when the
+    # attribute has enough non-NaN rows at all).
+    for node in tree.nodes():
+        if node is not tree.root:
+            assert node.stats.count >= min_count
+
+    # Invariant 2: leaves partition the non-NaN rows exactly.
+    total = np.zeros(n_total, dtype=int)
+    for item in tree.leaf_items():
+        total += item.mask(table).astype(int)
+    assert (total[finite] == 1).all()
+    assert (total[~finite] == 0).all()
+
+    # Invariant 1: the hierarchy satisfies Definition 4.1 on the data.
+    tree.to_hierarchy().validate(table)
+
+    # Node stats agree with direct recomputation from masks.
+    for node in tree.nodes():
+        mask = node.item.mask(table)
+        assert node.stats.count == int(mask.sum())
+        defined = mask & ~np.isnan(outcomes)
+        assert node.stats.n == int(defined.sum())
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    table=continuous_column(),
+    n_bins=st.integers(1, 12),
+    method=st.sampled_from(["quantile", "uniform"]),
+)
+def test_flat_discretizations_partition(table, n_bins, method):
+    if method == "quantile":
+        items = quantile_items(table, "x", n_bins)
+    else:
+        items = uniform_items(table, "x", n_bins)
+    values = table.continuous("x").values
+    finite = ~np.isnan(values)
+    total = np.zeros(table.n_rows, dtype=int)
+    for item in items:
+        total += item.mask(table).astype(int)
+    assert (total[finite] == 1).all()
+    assert (total[~finite] == 0).all()
+    assert 1 <= len(items) <= n_bins
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    edges=st.lists(
+        st.floats(-100, 100, allow_nan=False), min_size=0, max_size=6
+    ),
+    table=continuous_column(),
+)
+def test_manual_items_partition(edges, table):
+    items = manual_items("x", edges)
+    values = table.continuous("x").values
+    finite = ~np.isnan(values)
+    total = np.zeros(table.n_rows, dtype=int)
+    for item in items:
+        total += item.mask(table).astype(int)
+    assert (total[finite] == 1).all()
+    assert len(items) == len(set(edges)) + 1

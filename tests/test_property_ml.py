@@ -1,0 +1,69 @@
+"""Property-based tests for the ML substrate."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.ml import DecisionTreeClassifier, RandomForestClassifier
+
+
+@st.composite
+def classification_problem(draw):
+    n = draw(st.integers(20, 150))
+    d = draw(st.integers(1, 4))
+    n_classes = draw(st.integers(2, 3))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    y = rng.integers(0, n_classes, size=n)
+    return X, y
+
+
+@settings(max_examples=30, deadline=None)
+@given(problem=classification_problem())
+def test_tree_proba_rows_sum_to_one(problem):
+    X, y = problem
+    tree = DecisionTreeClassifier(max_depth=5).fit(X, y)
+    proba = tree.predict_proba(X)
+    np.testing.assert_allclose(proba.sum(axis=1), 1.0, rtol=1e-9)
+    assert (proba >= 0).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(problem=classification_problem())
+def test_tree_predictions_within_observed_classes(problem):
+    X, y = problem
+    tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+    pred = tree.predict(X)
+    assert set(pred) <= set(range(int(y.max()) + 1))
+
+
+@settings(max_examples=20, deadline=None)
+@given(problem=classification_problem())
+def test_unbounded_tree_memorizes_separable_data(problem):
+    X, y = problem
+    # Make labels a deterministic function of the (almost surely
+    # distinct) first feature, so perfect training fit is achievable.
+    y = (X[:, 0] > np.median(X[:, 0])).astype(int)
+    tree = DecisionTreeClassifier().fit(X, y)
+    assert (tree.predict(X) == y).mean() == 1.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(problem=classification_problem(), seed=st.integers(0, 100))
+def test_forest_deterministic_given_seed(problem, seed):
+    X, y = problem
+    a = RandomForestClassifier(n_estimators=3, max_depth=3, seed=seed)
+    b = RandomForestClassifier(n_estimators=3, max_depth=3, seed=seed)
+    np.testing.assert_array_equal(
+        a.fit(X, y).predict(X), b.fit(X, y).predict(X)
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(problem=classification_problem())
+def test_forest_proba_valid_distribution(problem):
+    X, y = problem
+    forest = RandomForestClassifier(n_estimators=4, max_depth=4, seed=0)
+    proba = forest.fit(X, y).predict_proba(X)
+    np.testing.assert_allclose(proba.sum(axis=1), 1.0, rtol=1e-9)
+    assert (proba >= 0).all()

@@ -1,0 +1,106 @@
+"""Property-based tests for the tabular substrate."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.tabular import Table, read_csv, write_csv
+
+cell_text = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("L", "N", "P", "Z"), max_codepoint=0x2000
+    ),
+    min_size=0,
+    max_size=12,
+).filter(lambda s: s == s.strip() and "\r" not in s and "\n" not in s)
+
+
+@st.composite
+def random_table(draw):
+    n_rows = draw(st.integers(1, 25))
+    n_numeric = draw(st.integers(0, 3))
+    n_cat = draw(st.integers(0, 3))
+    data = {}
+    for i in range(n_numeric):
+        data[f"n{i}"] = draw(
+            st.lists(
+                st.one_of(
+                    st.floats(-1e9, 1e9, allow_nan=False), st.none()
+                ),
+                min_size=n_rows,
+                max_size=n_rows,
+            )
+        )
+    for i in range(n_cat):
+        data[f"c{i}"] = draw(
+            st.lists(
+                st.one_of(
+                    cell_text.filter(lambda s: s != ""), st.none()
+                ),
+                min_size=n_rows,
+                max_size=n_rows,
+            )
+        )
+    if not data:
+        data["n0"] = [1.0] * n_rows
+    return Table(data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(table=random_table(), seed=st.integers(0, 2**16))
+def test_select_take_agree(table, seed):
+    rng = np.random.default_rng(seed)
+    mask = rng.uniform(size=table.n_rows) < 0.5
+    by_mask = table.select(mask)
+    by_take = table.take(np.nonzero(mask)[0])
+    assert by_mask.equals(by_take)
+
+
+@settings(max_examples=40, deadline=None)
+@given(table=random_table())
+def test_shuffle_preserves_multiset(table):
+    rng = np.random.default_rng(0)
+    shuffled = table.shuffle(rng)
+    for name in table.column_names:
+        original = table[name].to_list()
+        after = shuffled[name].to_list()
+        assert sorted(map(repr, original)) == sorted(map(repr, after))
+
+
+@settings(max_examples=40, deadline=None)
+@given(table=random_table())
+def test_project_roundtrip(table):
+    names = list(reversed(table.column_names))
+    projected = table.project(names)
+    assert projected.column_names == names
+    assert projected.project(table.column_names).equals(table)
+
+
+def _csv_safe(table: Table) -> bool:
+    """Values whose string form survives CSV (no float formatting loss)."""
+    for name in table.continuous_names:
+        for v in table[name].to_list():
+            if v is not None and float(str(v)) != v:
+                return False
+    return True
+
+
+@settings(max_examples=40, deadline=None)
+@given(table=random_table())
+def test_csv_roundtrip_structure(table, tmp_path_factory):
+    path = tmp_path_factory.mktemp("prop") / "t.csv"
+    write_csv(table, path)
+    back = read_csv(path)
+    assert back.n_rows == table.n_rows
+    assert back.column_names == table.column_names
+    # Continuous columns stay continuous unless every value is missing
+    # (then kind inference has nothing to go on).
+    for name in table.continuous_names:
+        values = table[name].to_list()
+        if any(v is not None for v in values):
+            assert name in back.continuous_names
+            restored = back[name].to_list()
+            for a, b in zip(values, restored):
+                if a is None:
+                    assert b is None
+                else:
+                    assert b == float(str(a))

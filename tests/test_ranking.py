@@ -1,0 +1,90 @@
+"""Tests for ranking outcome functions."""
+
+import numpy as np
+import pytest
+
+from repro.core.ranking import exposure, rank_position, selection_rate
+from repro.tabular import Table
+
+
+@pytest.fixture
+def scored_table():
+    return Table({"score": [10.0, 50.0, 30.0, None, 20.0, 40.0]})
+
+
+class TestSelectionRate:
+    def test_top_selected(self, scored_table):
+        # 5 scored rows, top 40% -> 2 selected: scores 50 and 40.
+        out = selection_rate("score", 0.4).values(scored_table)
+        assert out[1] == 1.0 and out[5] == 1.0
+        assert out[0] == 0.0 and out[2] == 0.0 and out[4] == 0.0
+        assert np.isnan(out[3])
+
+    def test_lower_is_better(self, scored_table):
+        out = selection_rate("score", 0.4, higher_is_better=False).values(
+            scored_table
+        )
+        assert out[0] == 1.0 and out[4] == 1.0
+
+    def test_selection_count_exact(self, rng):
+        table = Table({"score": rng.normal(size=1000)})
+        out = selection_rate("score", 0.1).values(table)
+        assert out.sum() == 100
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            selection_rate("score", 0.0)
+        with pytest.raises(ValueError):
+            selection_rate("score", 1.0)
+
+    def test_all_missing(self):
+        from repro.tabular import ColumnKind, Schema
+
+        schema = Schema.from_kinds({"score": ColumnKind.CONTINUOUS})
+        table = Table({"score": [None, None]}, schema=schema)
+        out = selection_rate("score", 0.5).values(table)
+        assert np.isnan(out).all()
+
+    def test_divergence_detects_biased_ranking(self, rng):
+        """A group pushed down the ranking has negative divergence."""
+        n = 2000
+        group = rng.choice(["a", "b"], n)
+        score = rng.normal(0, 1, n) - 1.2 * (group == "b")
+        table = Table({"group": group, "score": score})
+        out = selection_rate("score", 0.2).values(table)
+        b_rate = out[group == "b"].mean()
+        assert b_rate < out.mean() - 0.05
+
+
+class TestRankPosition:
+    def test_extremes(self, scored_table):
+        out = rank_position("score").values(scored_table)
+        assert out[1] == 0.0       # best score 50
+        assert out[0] == 1.0       # worst score 10
+        assert np.isnan(out[3])
+
+    def test_uniform_spacing(self):
+        table = Table({"score": [4.0, 3.0, 2.0, 1.0, 0.0]})
+        out = rank_position("score").values(table)
+        np.testing.assert_allclose(out, [0.0, 0.25, 0.5, 0.75, 1.0])
+
+    def test_single_row(self):
+        table = Table({"score": [7.0]})
+        assert rank_position("score").values(table)[0] == 0.0
+
+
+class TestExposure:
+    def test_top_row_full_exposure(self, scored_table):
+        out = exposure("score").values(scored_table)
+        assert out[1] == pytest.approx(1.0)
+
+    def test_monotone_decreasing_in_rank(self):
+        table = Table({"score": [5.0, 4.0, 3.0, 2.0, 1.0]})
+        out = exposure("score").values(table)
+        assert all(out[i] > out[i + 1] for i in range(4))
+
+    def test_log_discount_values(self):
+        table = Table({"score": [2.0, 1.0]})
+        out = exposure("score").values(table)
+        assert out[0] == pytest.approx(1.0)
+        assert out[1] == pytest.approx(1.0 / np.log2(3.0))

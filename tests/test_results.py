@@ -1,0 +1,150 @@
+"""Unit tests for SubgroupResult / ResultSet."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.divergence import OutcomeStats
+from repro.core.items import CategoricalItem, Itemset
+from repro.core.results import ResultSet, SubgroupResult
+
+
+def make_result(name, divergence, support=0.2, t=5.0, length=1):
+    items = [CategoricalItem(f"a{i}", name) for i in range(length)]
+    return SubgroupResult(
+        itemset=Itemset(items),
+        support=support,
+        count=int(support * 100),
+        mean=0.5 + divergence,
+        divergence=divergence,
+        t=t,
+    )
+
+
+@pytest.fixture
+def result_set():
+    global_stats = OutcomeStats.from_outcomes(np.array([0.5] * 100))
+    results = [
+        make_result("hi", +0.4, t=8.0),
+        make_result("lo", -0.5, t=6.0),
+        make_result("mid", +0.1, t=1.0),
+        make_result("weak", +0.05, t=0.5),
+    ]
+    return ResultSet(results, global_stats, elapsed_seconds=1.5)
+
+
+class TestFromStats:
+    def test_fields(self):
+        sub = OutcomeStats.from_outcomes(np.array([1.0, 1.0, 0.0]))
+        full = OutcomeStats.from_outcomes(
+            np.array([1.0, 1.0, 0.0] + [0.0] * 7)
+        )
+        r = SubgroupResult.from_stats(
+            Itemset([CategoricalItem("c", "x")]), sub, full, 10
+        )
+        assert r.support == pytest.approx(0.3)
+        assert r.count == 3
+        assert r.mean == pytest.approx(2 / 3)
+        assert r.divergence == pytest.approx(2 / 3 - 0.2)
+        assert r.length == 1
+
+    def test_str(self):
+        r = make_result("x", 0.25)
+        assert "Δ=+0.250" in str(r)
+
+
+class TestRanking:
+    def test_top_k_abs(self, result_set):
+        top = result_set.top_k(2)
+        assert [r.divergence for r in top] == [-0.5, 0.4]
+
+    def test_top_k_positive(self, result_set):
+        top = result_set.top_k(1, by="divergence")
+        assert top[0].divergence == 0.4
+
+    def test_top_k_negative(self, result_set):
+        top = result_set.top_k(1, by="neg_divergence")
+        assert top[0].divergence == -0.5
+
+    def test_top_k_support(self, result_set):
+        top = result_set.top_k(1, by="support")
+        assert top[0].support == 0.2
+
+    def test_min_t_filter(self, result_set):
+        top = result_set.top_k(10, min_t=2.0)
+        assert all(r.t >= 2.0 for r in top)
+        assert len(top) == 2
+
+    def test_min_length_filter(self, result_set):
+        assert result_set.top_k(10, min_length=2) == []
+
+    def test_unknown_criterion(self, result_set):
+        with pytest.raises(ValueError):
+            result_set.top_k(1, by="magic")
+
+    def test_max_divergence(self, result_set):
+        assert result_set.max_divergence() == 0.5
+        assert result_set.max_divergence(signed=True) == 0.4
+
+    def test_max_divergence_empty(self):
+        empty = ResultSet([], OutcomeStats.empty())
+        assert empty.max_divergence() == 0.0
+
+    def test_nan_divergence_excluded(self):
+        r = SubgroupResult(
+            Itemset([CategoricalItem("c", "x")]), 0.5, 50, float("nan"),
+            float("nan"), float("nan"),
+        )
+        rs = ResultSet([r], OutcomeStats.empty())
+        assert rs.top_k(5) == []
+        assert rs.max_divergence() == 0.0
+
+
+class TestSetOps:
+    def test_find(self, result_set):
+        itemset = Itemset([CategoricalItem("a0", "hi")])
+        assert result_set.find(itemset).divergence == 0.4
+        assert result_set.find(Itemset()) is None
+
+    def test_itemsets(self, result_set):
+        assert len(result_set.itemsets()) == 4
+
+    def test_filtered(self, result_set):
+        kept = result_set.filtered(lambda r: r.divergence > 0)
+        assert len(kept) == 3
+        assert kept.elapsed_seconds == result_set.elapsed_seconds
+
+    def test_merged_dedupes(self, result_set):
+        merged = result_set.merged(result_set)
+        assert len(merged) == len(result_set)
+        assert merged.elapsed_seconds == pytest.approx(3.0)
+
+    def test_merged_unions(self, result_set):
+        extra = ResultSet(
+            [make_result("extra", 0.9)], result_set.global_stats, 0.5
+        )
+        merged = result_set.merged(extra)
+        assert len(merged) == 5
+
+    def test_iteration_and_indexing(self, result_set):
+        assert len(list(result_set)) == 4
+        assert result_set[0].divergence == 0.4
+
+    def test_global_mean(self, result_set):
+        assert result_set.global_mean == pytest.approx(0.5)
+
+
+class TestToRows:
+    def test_rows_shape(self, result_set):
+        rows = result_set.to_rows(2)
+        assert len(rows) == 2
+        assert set(rows[0]) == {"itemset", "support", "mean", "divergence", "t"}
+
+    def test_nan_t_preserved(self):
+        r = SubgroupResult(
+            Itemset([CategoricalItem("c", "x")]), 0.5, 50, 0.6, 0.1,
+            float("nan"),
+        )
+        rows = ResultSet([r], OutcomeStats.empty()).to_rows(1)
+        assert math.isnan(rows[0]["t"])

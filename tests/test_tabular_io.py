@@ -1,0 +1,67 @@
+"""Unit tests for CSV I/O."""
+
+import pytest
+
+from repro.tabular import ColumnKind, Schema, Table, read_csv, write_csv
+
+
+def test_roundtrip(tmp_path, small_table):
+    path = tmp_path / "t.csv"
+    write_csv(small_table, path)
+    back = read_csv(path)
+    assert back.equals(small_table)
+
+
+def test_missing_values_roundtrip(tmp_path):
+    t = Table({"x": [1.0, None, 3.0], "c": ["a", None, "b"]})
+    path = tmp_path / "t.csv"
+    write_csv(t, path)
+    back = read_csv(path)
+    assert back["x"].to_list() == [1.0, None, 3.0]
+    assert back["c"].to_list() == ["a", None, "b"]
+
+
+def test_inference_numeric_vs_text(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("a,b\n1,x\n2.5,y\n")
+    t = read_csv(path)
+    assert t.continuous_names == ["a"]
+    assert t.categorical_names == ["b"]
+
+
+def test_all_empty_column_is_categorical(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("a\n\n\n")
+    t = read_csv(path)
+    assert t.categorical_names == ["a"]
+    assert t["a"].to_list() == [None, None]
+
+
+def test_schema_forces_categorical_codes(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("zip\n10001\n94110\n")
+    schema = Schema.from_kinds({"zip": ColumnKind.CATEGORICAL})
+    t = read_csv(path, schema=schema)
+    assert t.categorical_names == ["zip"]
+
+
+def test_empty_file_raises(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("")
+    with pytest.raises(ValueError, match="empty"):
+        read_csv(path)
+
+
+def test_ragged_row_raises(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("a,b\n1\n")
+    with pytest.raises(ValueError, match="does not match"):
+        read_csv(path)
+
+
+def test_quoted_commas(tmp_path):
+    t = Table({"c": ["hello, world", "plain"]})
+    path = tmp_path / "t.csv"
+    write_csv(t, path)
+    back = read_csv(path)
+    assert back["c"].to_list() == ["hello, world", "plain"]

@@ -1,0 +1,182 @@
+"""Unit tests for repro.tabular.table."""
+
+import numpy as np
+import pytest
+
+from repro.tabular import (
+    CategoricalColumn,
+    ColumnKind,
+    ContinuousColumn,
+    Schema,
+    Table,
+)
+
+
+class TestConstruction:
+    def test_from_mapping_infers_kinds(self, small_table):
+        assert small_table.continuous_names == ["age"]
+        assert sorted(small_table.categorical_names) == ["city", "sex"]
+        assert small_table.n_rows == 6
+
+    def test_from_columns(self):
+        t = Table([ContinuousColumn("x", np.array([1.0]))])
+        assert t.column_names == ["x"]
+
+    def test_empty_table(self):
+        t = Table({})
+        assert t.n_rows == 0
+        assert t.column_names == []
+
+    def test_schema_forces_kind(self):
+        schema = Schema.from_kinds({"code": ColumnKind.CATEGORICAL})
+        t = Table({"code": [1, 2, 1]}, schema=schema)
+        assert t.categorical_names == ["code"]
+        assert t["code"].to_list() == ["1", "2", "1"]
+
+    def test_schema_forces_continuous_with_missing(self):
+        schema = Schema.from_kinds({"x": ColumnKind.CONTINUOUS})
+        t = Table({"x": ["1.5", "", None]}, schema=schema)
+        assert t["x"].to_list() == [1.5, None, None]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="differing lengths"):
+            Table({"a": [1, 2], "b": [1]})
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Table(
+                [
+                    ContinuousColumn("x", np.array([1.0])),
+                    ContinuousColumn("x", np.array([2.0])),
+                ]
+            )
+
+    def test_non_column_iterable_rejected(self):
+        with pytest.raises(TypeError):
+            Table([np.array([1.0])])
+
+
+class TestAccess:
+    def test_getitem_unknown_raises_with_names(self, small_table):
+        with pytest.raises(KeyError, match="age"):
+            small_table["nope"]
+
+    def test_typed_accessors(self, small_table):
+        assert isinstance(small_table.continuous("age"), ContinuousColumn)
+        assert isinstance(small_table.categorical("sex"), CategoricalColumn)
+
+    def test_typed_accessors_reject_wrong_kind(self, small_table):
+        with pytest.raises(TypeError):
+            small_table.continuous("sex")
+        with pytest.raises(TypeError):
+            small_table.categorical("age")
+
+    def test_contains(self, small_table):
+        assert "age" in small_table
+        assert "nope" not in small_table
+
+    def test_schema_roundtrip(self, small_table):
+        schema = small_table.schema
+        assert schema.kind_of("age") is ColumnKind.CONTINUOUS
+        assert schema.kind_of("sex") is ColumnKind.CATEGORICAL
+        assert "age" in schema
+        assert len(schema) == 3
+
+
+class TestRowOps:
+    def test_select(self, small_table):
+        mask = np.array([True, False, False, True, False, False])
+        sub = small_table.select(mask)
+        assert sub.n_rows == 2
+        assert sub["age"].to_list() == [22.0, 28.0]
+
+    def test_select_wrong_shape(self, small_table):
+        with pytest.raises(ValueError, match="mask shape"):
+            small_table.select(np.array([True]))
+
+    def test_take_reorders(self, small_table):
+        sub = small_table.take([5, 0])
+        assert sub["age"].to_list() == [60.0, 22.0]
+
+    def test_head(self, small_table):
+        assert small_table.head(2).n_rows == 2
+        assert small_table.head(100).n_rows == 6
+
+    def test_shuffle_is_permutation(self, small_table, rng):
+        shuffled = small_table.shuffle(rng)
+        assert sorted(shuffled["age"].to_list()) == sorted(
+            small_table["age"].to_list()
+        )
+
+
+class TestColumnOps:
+    def test_with_column_adds(self, small_table):
+        t = small_table.with_values("score", [1.0] * 6)
+        assert "score" in t
+        assert small_table.column_names == ["age", "sex", "city"]  # original intact
+
+    def test_with_column_replaces(self, small_table):
+        t = small_table.with_values("age", [0.0] * 6)
+        assert t["age"].to_list() == [0.0] * 6
+
+    def test_with_column_length_checked(self, small_table):
+        with pytest.raises(ValueError, match="length"):
+            small_table.with_column(ContinuousColumn("z", np.array([1.0])))
+
+    def test_drop(self, small_table):
+        t = small_table.drop(["sex"])
+        assert t.column_names == ["age", "city"]
+
+    def test_drop_missing_raises(self, small_table):
+        with pytest.raises(KeyError):
+            small_table.drop(["nope"])
+
+    def test_project_orders(self, small_table):
+        t = small_table.project(["city", "age"])
+        assert t.column_names == ["city", "age"]
+
+
+class TestDescribe:
+    def test_continuous_summary(self, small_table):
+        d = small_table.describe()["age"]
+        assert d["kind"] == "continuous"
+        assert d["count"] == 6 and d["missing"] == 0
+        assert d["min"] == 22.0 and d["max"] == 60.0
+
+    def test_categorical_summary(self, small_table):
+        d = small_table.describe()["city"]
+        assert d["kind"] == "categorical"
+        assert d["n_categories"] == 3
+        assert d["top"] == "LA" and d["top_count"] == 3
+
+    def test_missing_counted(self):
+        t = Table({"x": [1.0, None, 3.0]})
+        d = t.describe()["x"]
+        assert d["missing"] == 1 and d["count"] == 2
+
+    def test_all_missing_continuous(self):
+        from repro.tabular import ColumnKind, Schema
+
+        schema = Schema.from_kinds({"x": ColumnKind.CONTINUOUS})
+        t = Table({"x": [None, None]}, schema=schema)
+        d = t.describe()["x"]
+        assert d["min"] is None and d["mean"] is None
+
+
+class TestConversion:
+    def test_to_dict(self, small_table):
+        d = small_table.to_dict()
+        assert d["sex"] == ["F", "M", "M", "F", "F", "M"]
+
+    def test_equals(self, small_table):
+        clone = Table(small_table.to_dict())
+        assert small_table.equals(clone)
+        assert not small_table.equals(clone.drop(["sex"]))
+
+    def test_equals_detects_value_change(self, small_table):
+        other = small_table.with_values("age", [0.0] * 6)
+        assert not small_table.equals(other)
+
+    def test_repr_mentions_kinds(self, small_table):
+        assert "age:num" in repr(small_table)
+        assert "sex:cat" in repr(small_table)
