@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-smoke bench-engine
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	$(PYTHON) benchmarks/smoke.py
+
+bench-engine:
+	$(PYTHON) -m pytest benchmarks/bench_bitset_engine.py -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q

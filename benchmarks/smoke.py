@@ -1,0 +1,68 @@
+"""Backend smoke check — fast agreement gate for CI.
+
+Runs the hierarchical exploration of the synthetic-peak dataset once
+per mining backend (plus the 2-way parallel bitset path) and fails if
+
+* any single run takes longer than ``TIME_BUDGET`` seconds, or
+* any backend's ResultSet diverges from the fpgrowth reference
+  (same subgroups, same counts, divergences equal at 9 decimals).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke.py    # or: make bench-smoke
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.core.mining import BACKENDS
+from repro.experiments.harness import load_context, run_hierarchical
+
+SUPPORT = 0.05
+TIME_BUDGET = 5.0
+
+VARIANTS = [(backend, 1) for backend in BACKENDS] + [("bitset", 2)]
+
+
+def signature(result):
+    return sorted(
+        (tuple(sorted(str(i) for i in r.itemset)), r.count,
+         round(r.divergence, 9))
+        for r in result
+    )
+
+
+def main() -> int:
+    ctx = load_context("synthetic-peak")
+    ctx.leaf_items(0.1, "divergence")  # warm the discretization cache
+    reference = None
+    failures = []
+    for backend, n_jobs in VARIANTS:
+        label = backend if n_jobs == 1 else f"{backend} (n_jobs={n_jobs})"
+        start = time.perf_counter()
+        result = run_hierarchical(ctx, SUPPORT, backend=backend, n_jobs=n_jobs)
+        elapsed = time.perf_counter() - start
+        sig = signature(result)
+        status = "ok"
+        if elapsed > TIME_BUDGET:
+            status = f"TOO SLOW (> {TIME_BUDGET:.0f}s)"
+            failures.append(label)
+        if reference is None:
+            reference = sig
+        elif sig != reference:
+            status = "DIVERGED from fpgrowth"
+            failures.append(label)
+        print(
+            f"{label:20s} {len(sig):5d} subgroups  {elapsed:6.2f}s  {status}"
+        )
+    if failures:
+        print(f"smoke FAILED: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("smoke passed: all backends agree")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

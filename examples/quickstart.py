@@ -10,7 +10,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import DivExplorer, HDivExplorer, Table
+from repro import DivExplorer, ExploreConfig, HDivExplorer, Table
 from repro.core.discretize import TreeDiscretizer
 from repro.core.outcomes import array_outcome
 
@@ -35,13 +35,22 @@ def main() -> None:
     print(f"dataset: {table}")
     print(f"overall error rate: {errors.mean():.3f}\n")
 
+    # One frozen config drives every explorer; replace() derives
+    # variants (e.g. backend="bitset" for the fast mining engine).
+    config = ExploreConfig(min_support=0.05, tree_support=0.1)
+
     # Hierarchical exploration: trees discretize age and income into
     # item hierarchies, mining combines items at any granularity.
-    explorer = HDivExplorer(min_support=0.05, tree_support=0.1)
+    explorer = HDivExplorer(config)
     result = explorer.explore(table, outcome)
     print("H-DivExplorer top subgroups (support >= 0.05):")
     for r in result.top_k(5):
         print(f"  {r}")
+
+    fast = HDivExplorer(config.replace(backend="bitset")).explore(
+        table, outcome
+    )
+    assert fast.itemsets() == result.itemsets()  # same answer, faster
 
     print("\nitem hierarchy discovered for 'age':")
     print(explorer.last_hierarchies_["age"].render())
@@ -50,7 +59,7 @@ def main() -> None:
     discretizer = TreeDiscretizer(min_support=0.1)
     trees = discretizer.fit_all(table, outcome.values(table))
     leaves = {name: tree.leaf_items() for name, tree in trees.items()}
-    base = DivExplorer(min_support=0.05).explore(
+    base = DivExplorer(config).explore(
         table, outcome, continuous_items=leaves
     )
     print("\nbase DivExplorer (leaf items only) top subgroups:")

@@ -17,6 +17,7 @@ Quickstart
 
 from repro.core import (
     CategoricalItem,
+    ExploreConfig,
     DivExplorer,
     HDivExplorer,
     HierarchySet,
@@ -45,6 +46,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CategoricalItem",
+    "ExploreConfig",
     "DivExplorer",
     "HDivExplorer",
     "HierarchySet",

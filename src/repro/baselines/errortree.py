@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.config import ExploreConfig, resolve_config
 from repro.core.discretize.combined import CombinedTreeDiscretizer
 from repro.core.items import Itemset
 from repro.core.outcomes import Outcome
@@ -40,6 +41,11 @@ class ErrorTree:
 
     Parameters
     ----------
+    config:
+        An :class:`~repro.core.config.ExploreConfig`; ErrorTree uses
+        its ``min_support`` and ``criterion``. Keyword arguments
+        override it; the historical ``support=`` spelling still works
+        with a :class:`DeprecationWarning`.
     min_support:
         Minimum fraction of instances per leaf.
     max_depth:
@@ -50,13 +56,23 @@ class ErrorTree:
 
     def __init__(
         self,
-        min_support: float = 0.05,
+        config: ExploreConfig | float | None = None,
+        *,
         max_depth: int | None = None,
-        criterion: str = "divergence",
+        **kwargs,
     ):
+        cfg = resolve_config(config, kwargs, owner="ErrorTree")
+        if kwargs:
+            raise TypeError(
+                f"ErrorTree got unexpected keyword arguments {sorted(kwargs)}"
+            )
+        self.config = cfg
+        self.min_support = cfg.min_support
+        self.criterion = cfg.criterion
+        self.max_depth = max_depth
         self._discretizer = CombinedTreeDiscretizer(
-            min_support=min_support,
-            criterion=criterion,
+            min_support=cfg.min_support,
+            criterion=cfg.criterion,
             max_depth=max_depth,
         )
 

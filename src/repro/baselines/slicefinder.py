@@ -19,6 +19,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.core.config import ExploreConfig, resolve_config
 from repro.core.items import Item, Itemset
 from repro.core.mining.transactions import EncodedUniverse
 from repro.core.outcomes import Outcome
@@ -58,14 +59,20 @@ class SliceFinder:
 
     Parameters
     ----------
+    config:
+        An :class:`~repro.core.config.ExploreConfig`; Slice Finder uses
+        its ``max_length`` (the original applies no support control, so
+        ``min_support`` is ignored). Keyword arguments override it; the
+        historical ``max_level=`` spelling still works with a
+        :class:`DeprecationWarning`.
     effect_size_threshold:
         Minimum effect size for a slice to count as problematic
         (the original's default is 0.4).
     k:
         Stop after this many problematic slices are found (the level in
         progress is always completed).
-    max_level:
-        Maximum slice predicate length.
+    max_length:
+        Maximum slice predicate length (default 3).
     min_size:
         Optional minimum absolute slice size (the original applies no
         support control; keep 1 for faithful behaviour).
@@ -73,18 +80,27 @@ class SliceFinder:
 
     def __init__(
         self,
+        config: ExploreConfig | None = None,
+        *,
         effect_size_threshold: float = 0.4,
         k: int = 10,
-        max_level: int = 3,
         min_size: int = 1,
+        **kwargs,
     ):
+        cfg = resolve_config(
+            config, kwargs, defaults={"max_length": 3}, owner="SliceFinder"
+        )
+        if kwargs:
+            raise TypeError(
+                f"SliceFinder got unexpected keyword arguments "
+                f"{sorted(kwargs)}"
+            )
         if k < 1:
             raise ValueError("k must be positive")
-        if max_level < 1:
-            raise ValueError("max_level must be positive")
+        self.config = cfg
         self.effect_size_threshold = effect_size_threshold
         self.k = k
-        self.max_level = max_level
+        self.max_level = cfg.max_length if cfg.max_length is not None else math.inf
         self.min_size = min_size
 
     def find(

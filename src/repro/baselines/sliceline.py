@@ -24,6 +24,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.core.config import ExploreConfig, resolve_config
 from repro.core.items import Item, Itemset
 from repro.core.mining.transactions import EncodedUniverse
 from repro.core.outcomes import Outcome
@@ -46,32 +47,46 @@ class SliceLine:
 
     Parameters
     ----------
+    config:
+        An :class:`~repro.core.config.ExploreConfig`; SliceLine uses
+        its ``min_support`` and ``max_length``. Keyword arguments
+        override it; the historical ``max_level=`` spelling still works
+        with a :class:`DeprecationWarning`.
     alpha:
         Weight of the average-error term versus the size term,
         in (0, 1].
     k:
         Number of top slices to return.
     min_support:
-        Minimum slice support (fraction of rows).
-    max_level:
+        Minimum slice support (fraction of rows; default 0.01).
+    max_length:
         Maximum slice predicate length (the original's default is 3).
     """
 
     def __init__(
         self,
+        config: ExploreConfig | None = None,
+        *,
         alpha: float = 0.95,
         k: int = 10,
-        min_support: float = 0.01,
-        max_level: int = 3,
+        **kwargs,
     ):
+        cfg = resolve_config(
+            config, kwargs,
+            defaults={"min_support": 0.01, "max_length": 3},
+            owner="SliceLine",
+        )
+        if kwargs:
+            raise TypeError(
+                f"SliceLine got unexpected keyword arguments {sorted(kwargs)}"
+            )
         if not 0.0 < alpha <= 1.0:
             raise ValueError("alpha must be in (0, 1]")
-        if not 0.0 < min_support <= 1.0:
-            raise ValueError("min_support must be in (0, 1]")
+        self.config = cfg
         self.alpha = alpha
         self.k = k
-        self.min_support = min_support
-        self.max_level = max_level
+        self.min_support = cfg.min_support
+        self.max_level = cfg.max_length if cfg.max_length is not None else math.inf
 
     def find(
         self,

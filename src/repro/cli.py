@@ -20,9 +20,12 @@ Usage examples::
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 
+from repro.core.config import ExploreConfig
 from repro.core.discretize import TreeDiscretizer
+from repro.core.mining.transactions import BACKENDS
 from repro.core.explorer import DivExplorer
 from repro.core.hexplorer import HDivExplorer
 from repro.core.outcomes import (
@@ -103,16 +106,29 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def _explore_config(args) -> ExploreConfig:
+    """The shared exploration configuration from parsed CLI flags."""
+    return ExploreConfig(
+        min_support=args.support,
+        tree_support=args.tree_support,
+        criterion=args.criterion,
+        backend=getattr(args, "backend", "fpgrowth"),
+        polarity=getattr(args, "polarity", False),
+        n_jobs=getattr(args, "n_jobs", 1),
+    )
+
+
 def cmd_explore(args) -> int:
     table = read_csv(args.csv)
     outcome = _build_outcome(args)
     values = outcome.values(table)
     features = _feature_table(table, args)
+    config = _explore_config(args)
     if args.base:
         trees = TreeDiscretizer(
             args.tree_support, criterion=args.criterion
         ).fit_all(features, values)
-        explorer = DivExplorer(args.support, polarity=args.polarity)
+        explorer = DivExplorer(config)
         result = explorer.explore(
             features,
             values,
@@ -120,21 +136,21 @@ def cmd_explore(args) -> int:
         )
         mode = "base (leaf items)"
     else:
-        explorer = HDivExplorer(
-            min_support=args.support,
-            tree_support=args.tree_support,
-            criterion=args.criterion,
-            polarity=args.polarity,
-        )
+        explorer = HDivExplorer(config)
         result = explorer.explore(features, values)
         mode = "hierarchical"
+    headline = result.summary()
     print(
-        f"{mode} exploration: {len(result)} frequent subgroups, "
-        f"f(D)={result.global_mean:.4f}, "
-        f"{result.elapsed_seconds:.2f}s"
+        f"{mode} exploration: {headline['n_subgroups']} frequent subgroups, "
+        f"f(D)={headline['global_mean']:.4f}, "
+        f"{headline['elapsed_seconds']:.2f}s"
     )
-    for r in result.top_k(args.top, by=args.rank_by, min_t=args.min_t):
-        print(f"  {r}")
+    for row in result.to_rows(args.top, by=args.rank_by, min_t=args.min_t):
+        t = "nan" if math.isnan(row["t"]) else f"{row['t']:.1f}"
+        print(
+            f"  {row['itemset']}  sup={row['support']:.3f}  "
+            f"Δ={row['divergence']:+.3f}  t={t}"
+        )
     return 0
 
 
@@ -145,11 +161,7 @@ def cmd_report(args) -> int:
     outcome = _build_outcome(args)
     values = outcome.values(table)
     features = _feature_table(table, args)
-    explorer = HDivExplorer(
-        min_support=args.support,
-        tree_support=args.tree_support,
-        criterion=args.criterion,
-    )
+    explorer = HDivExplorer(_explore_config(args))
     result = explorer.explore(features, values)
     print(
         exploration_report(
@@ -204,6 +216,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tree-support", type=float, default=0.1)
     p.add_argument(
         "--criterion", choices=["divergence", "entropy"], default="divergence"
+    )
+    p.add_argument(
+        "--backend", choices=list(BACKENDS), default="fpgrowth",
+        help="mining backend (all return identical subgroups)",
+    )
+    p.add_argument(
+        "--n-jobs", type=int, default=1, dest="n_jobs",
+        help="mining worker processes (1 = serial, <=0 = all cores)",
     )
     p.add_argument("--polarity", action="store_true")
     p.add_argument(

@@ -15,6 +15,7 @@ This package implements the paper's primary contribution:
   :class:`HDivExplorer` pipeline with polarity pruning.
 """
 
+from repro.core.config import ExploreConfig
 from repro.core.explorer import DivExplorer
 from repro.core.hexplorer import HDivExplorer
 from repro.core.hierarchy import HierarchySet, ItemHierarchy
@@ -36,6 +37,7 @@ from repro.core.results import ResultSet, SubgroupResult
 
 __all__ = [
     "CategoricalItem",
+    "ExploreConfig",
     "DivExplorer",
     "HDivExplorer",
     "HierarchySet",

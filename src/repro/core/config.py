@@ -1,0 +1,142 @@
+"""Unified exploration configuration.
+
+One frozen dataclass, :class:`ExploreConfig`, captures every knob the
+explorers and baselines share — support thresholds, tree criterion,
+mining backend, polarity pruning, itemset length cap and parallelism —
+so a single object can drive :class:`~repro.core.hexplorer.HDivExplorer`,
+:class:`~repro.core.explorer.DivExplorer` and the baseline finders
+interchangeably::
+
+    cfg = ExploreConfig(min_support=0.05, tree_support=0.1,
+                        backend="bitset", n_jobs=4)
+    HDivExplorer(cfg).explore(table, outcome)
+    DivExplorer(cfg).explore(table, outcome, items)
+
+Constructors still accept the historical keyword arguments; canonical
+field names (``min_support=...``) stay silent, while renamed legacy
+spellings (``support=``, ``st=``, ``max_level=``) keep working but emit
+a :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+
+from repro.core.mining.transactions import BACKENDS
+
+#: Tree-split criteria accepted by the discretizers.
+CRITERIA = ("divergence", "entropy")
+
+#: Renamed legacy keyword spellings still accepted by the explorer and
+#: baseline constructors (with a DeprecationWarning), mapped to the
+#: canonical :class:`ExploreConfig` field they set.
+LEGACY_ALIASES = {
+    "support": "min_support",
+    "st": "tree_support",
+    "max_level": "max_length",
+}
+
+
+@dataclass(frozen=True)
+class ExploreConfig:
+    """Shared configuration for subgroup exploration.
+
+    Parameters
+    ----------
+    min_support:
+        Exploration support threshold ``s`` (fraction of rows).
+    tree_support:
+        Discretization-tree support threshold ``st`` (hierarchical
+        exploration only).
+    criterion:
+        Tree split gain: ``"divergence"`` (any outcome) or
+        ``"entropy"`` (boolean outcomes only).
+    backend:
+        Mining backend; one of
+        :data:`~repro.core.mining.transactions.BACKENDS`.
+    polarity:
+        Enable polarity pruning (Section V-C of the paper).
+    max_length:
+        Optional cap on itemset cardinality (``None`` = unbounded).
+    n_jobs:
+        Mining parallelism: 1 (default) is fully serial, anything else
+        shards first-level prefixes across worker processes
+        (non-positive = all cores). Results are identical for any
+        value.
+    """
+
+    min_support: float = 0.05
+    tree_support: float = 0.1
+    criterion: str = "divergence"
+    backend: str = "fpgrowth"
+    polarity: bool = False
+    max_length: int | None = None
+    n_jobs: int = 1
+
+    def __post_init__(self):
+        if not 0.0 < self.min_support <= 1.0:
+            raise ValueError("min_support must be in (0, 1]")
+        if not 0.0 < self.tree_support <= 1.0:
+            raise ValueError("tree_support must be in (0, 1]")
+        if self.criterion not in CRITERIA:
+            raise ValueError(f"unknown split criterion {self.criterion!r}")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown mining backend {self.backend!r}")
+        if self.max_length is not None and self.max_length < 1:
+            raise ValueError("max_length must be positive")
+
+    def replace(self, **changes) -> "ExploreConfig":
+        """A copy with the given fields changed (and re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+
+_FIELD_NAMES = frozenset(f.name for f in dataclasses.fields(ExploreConfig))
+
+
+def resolve_config(
+    config: "ExploreConfig | float | None",
+    kwargs: dict,
+    defaults: dict | None = None,
+    owner: str = "this constructor",
+) -> ExploreConfig:
+    """Build the effective :class:`ExploreConfig` for a constructor.
+
+    Pops canonical field names and deprecated legacy aliases out of
+    ``kwargs`` (in place — whatever remains is the caller's own
+    parameters to interpret). Precedence: per-class ``defaults`` <
+    ``config`` < explicit keyword arguments, with canonical spellings
+    beating their legacy aliases.
+
+    ``config`` may also be a bare number, kept for the historical
+    ``Explorer(0.05, ...)`` positional form: it is read as
+    ``min_support``.
+    """
+    overrides: dict = {}
+    for legacy, canonical in LEGACY_ALIASES.items():
+        if legacy in kwargs:
+            warnings.warn(
+                f"{owner}: keyword {legacy!r} is deprecated; use "
+                f"{canonical!r} or pass an ExploreConfig",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            overrides[canonical] = kwargs.pop(legacy)
+    for name in _FIELD_NAMES:
+        if name in kwargs:
+            overrides[name] = kwargs.pop(name)
+
+    if isinstance(config, (int, float)) and not isinstance(config, bool):
+        overrides.setdefault("min_support", float(config))
+        config = None
+    if config is None:
+        base = ExploreConfig(**(defaults or {}))
+    elif isinstance(config, ExploreConfig):
+        base = config
+    else:
+        raise TypeError(
+            f"{owner}: config must be an ExploreConfig or a min_support "
+            f"number, not {type(config).__name__}"
+        )
+    return base.replace(**overrides) if overrides else base

@@ -12,6 +12,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.core.config import ExploreConfig, resolve_config
 from repro.core.items import Item
 from repro.core.mining.generalized import base_universe
 from repro.core.mining.transactions import EncodedUniverse, MinedItemset, mine
@@ -42,34 +43,38 @@ class DivExplorer:
 
     Parameters
     ----------
-    min_support:
-        Support threshold ``s``; only itemsets with support ≥ s are
-        explored (and reported).
-    backend:
-        ``"fpgrowth"`` (default) or ``"apriori"``.
-    max_length:
-        Optional cap on itemset cardinality.
-    polarity:
-        Enable polarity pruning (off by default for the base explorer,
-        matching the paper's experiments).
+    config:
+        An :class:`~repro.core.config.ExploreConfig` carrying the
+        shared exploration knobs, or a bare number read as
+        ``min_support`` (the historical positional form). Individual
+        keyword arguments (``min_support=``, ``backend=``,
+        ``max_length=``, ``polarity=``, ``n_jobs=``) override it;
+        renamed legacy spellings (``support=``, ``max_level=``) still
+        work with a :class:`DeprecationWarning`.
     include_missing_items:
-        Add ``A = ⊥`` items for attributes with missing values.
+        Add ``A = ⊥`` items for attributes with missing values (not
+        part of the shared config).
     """
 
     def __init__(
         self,
-        min_support: float = 0.05,
-        backend: str = "fpgrowth",
-        max_length: int | None = None,
-        polarity: bool = False,
+        config: ExploreConfig | float | None = None,
+        *,
         include_missing_items: bool = False,
+        **kwargs,
     ):
-        if not 0.0 < min_support <= 1.0:
-            raise ValueError("min_support must be in (0, 1]")
-        self.min_support = min_support
-        self.backend = backend
-        self.max_length = max_length
-        self.polarity = polarity
+        cfg = resolve_config(config, kwargs, owner="DivExplorer")
+        if kwargs:
+            raise TypeError(
+                f"DivExplorer got unexpected keyword arguments "
+                f"{sorted(kwargs)}"
+            )
+        self.config = cfg
+        self.min_support = cfg.min_support
+        self.backend = cfg.backend
+        self.max_length = cfg.max_length
+        self.polarity = cfg.polarity
+        self.n_jobs = cfg.n_jobs
         self.include_missing_items = include_missing_items
 
     def explore(
@@ -113,9 +118,13 @@ class DivExplorer:
         start = time.perf_counter()
         if self.polarity:
             mined = mine_with_polarity(
-                universe, self.min_support, self.backend, self.max_length
+                universe, self.min_support, self.backend, self.max_length,
+                n_jobs=self.n_jobs,
             )
         else:
-            mined = mine(universe, self.min_support, self.backend, self.max_length)
+            mined = mine(
+                universe, self.min_support, self.backend, self.max_length,
+                n_jobs=self.n_jobs,
+            )
         elapsed = time.perf_counter() - start
         return results_from_mined(universe, mined, elapsed)

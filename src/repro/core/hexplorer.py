@@ -18,6 +18,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.core.config import ExploreConfig, resolve_config
 from repro.core.discretize.tree import TreeDiscretizer
 from repro.core.hierarchy import HierarchySet, ItemHierarchy
 from repro.core.mining.generalized import generalized_universe
@@ -34,21 +35,14 @@ class HDivExplorer:
 
     Parameters
     ----------
-    min_support:
-        Exploration support threshold ``s``.
-    tree_support:
-        Discretization-tree support threshold ``st`` (typically larger
-        than ``s``: coarse items that can be combined across
-        attributes).
-    criterion:
-        Tree split gain: ``"divergence"`` (any outcome) or
-        ``"entropy"`` (boolean outcomes only).
-    backend:
-        Mining backend, ``"fpgrowth"`` (default) or ``"apriori"``.
-    polarity:
-        Enable polarity pruning (Section V-C).
-    max_length:
-        Optional cap on itemset cardinality.
+    config:
+        An :class:`~repro.core.config.ExploreConfig` carrying the
+        shared exploration knobs (``min_support``, ``tree_support``,
+        ``criterion``, ``backend``, ``polarity``, ``max_length``,
+        ``n_jobs``), or a bare number read as ``min_support`` (the
+        historical positional form). Individual keyword arguments
+        override it; renamed legacy spellings (``support=``, ``st=``,
+        ``max_level=``) still work with a :class:`DeprecationWarning`.
     max_candidates:
         Candidate-threshold cap per tree node (see
         :class:`TreeDiscretizer`).
@@ -62,30 +56,35 @@ class HDivExplorer:
     last_hierarchies_:
         The :class:`HierarchySet` Γ used by the last ``explore`` call.
     last_discretization_seconds_:
-        Wall-clock time of the last discretization step (the
-        exploration time is on the returned :class:`ResultSet`).
+        Wall-clock time of the last discretization step — always set by
+        ``explore``, and 0.0-ish when every attribute came with a
+        predefined hierarchy (the exploration time is on the returned
+        :class:`ResultSet`).
     """
 
     def __init__(
         self,
-        min_support: float = 0.05,
-        tree_support: float = 0.1,
-        criterion: str = "divergence",
-        backend: str = "fpgrowth",
-        polarity: bool = False,
-        max_length: int | None = None,
+        config: ExploreConfig | float | None = None,
+        *,
         max_candidates: int = 64,
         max_depth: int | None = None,
         include_missing_items: bool = False,
+        **kwargs,
     ):
-        if not 0.0 < min_support <= 1.0:
-            raise ValueError("min_support must be in (0, 1]")
-        self.min_support = min_support
-        self.tree_support = tree_support
-        self.criterion = criterion
-        self.backend = backend
-        self.polarity = polarity
-        self.max_length = max_length
+        cfg = resolve_config(config, kwargs, owner="HDivExplorer")
+        if kwargs:
+            raise TypeError(
+                f"HDivExplorer got unexpected keyword arguments "
+                f"{sorted(kwargs)}"
+            )
+        self.config = cfg
+        self.min_support = cfg.min_support
+        self.tree_support = cfg.tree_support
+        self.criterion = cfg.criterion
+        self.backend = cfg.backend
+        self.polarity = cfg.polarity
+        self.max_length = cfg.max_length
+        self.n_jobs = cfg.n_jobs
         self.max_candidates = max_candidates
         self.max_depth = max_depth
         self.include_missing_items = include_missing_items
@@ -168,9 +167,13 @@ class HDivExplorer:
         start = time.perf_counter()
         if self.polarity:
             mined = mine_with_polarity(
-                universe, self.min_support, self.backend, self.max_length
+                universe, self.min_support, self.backend, self.max_length,
+                n_jobs=self.n_jobs,
             )
         else:
-            mined = mine(universe, self.min_support, self.backend, self.max_length)
+            mined = mine(
+                universe, self.min_support, self.backend, self.max_length,
+                n_jobs=self.n_jobs,
+            )
         elapsed = time.perf_counter() - start
         return results_from_mined(universe, mined, elapsed)

@@ -23,8 +23,15 @@ def mine_apriori(
     universe: EncodedUniverse,
     min_support: float,
     max_length: int | None = None,
+    engine=None,
 ) -> list[MinedItemset]:
     """Mine all frequent itemsets levelwise.
+
+    With ``engine`` given (a :class:`~repro.core.mining.bitset.\
+BitsetEngine`), candidate masks are packed uint64 covers: the
+    counting step intersects words and popcounts instead of ANDing
+    boolean arrays, and statistics come from the engine's aggregation
+    kernels. Itemsets, statistics and emission order are unchanged.
 
     See :func:`repro.core.mining.transactions.mine` for parameters.
     """
@@ -35,14 +42,25 @@ def mine_apriori(
     attr = universe.attribute_of
     results: list[MinedItemset] = []
 
-    # Level 1: frequent single items, with their masks retained.
+    if engine is not None:
+        from repro.core.mining.bitset import popcount_rows
+
+        covers = engine.item_words
+        count_of = lambda cover: int(popcount_rows(cover))  # noqa: E731
+        stats_of = engine.stats_of_cover
+    else:
+        covers = universe.masks
+        count_of = lambda mask: int(np.count_nonzero(mask))  # noqa: E731
+        stats_of = universe.stats_of_mask
+
+    # Level 1: frequent single items, with their covers retained.
     frontier: list[tuple[tuple[int, ...], np.ndarray]] = []
     for i in range(universe.n_items()):
-        mask = universe.masks[i]
-        stats = universe.stats_of_mask(mask)
-        if stats.count >= min_count:
-            frontier.append(((i,), mask))
-            results.append(MinedItemset(frozenset((i,)), stats))
+        cover = covers[i]
+        count = count_of(cover)
+        if count >= min_count:
+            frontier.append(((i,), cover))
+            results.append(MinedItemset(frozenset((i,)), stats_of(cover)))
 
     length = 1
     frequent_prev = {ids for ids, _ in frontier}
@@ -51,10 +69,10 @@ def mine_apriori(
         next_frontier: list[tuple[tuple[int, ...], np.ndarray]] = []
         next_frequent: set[tuple[int, ...]] = set()
         for a in range(len(frontier)):
-            ids_a, mask_a = frontier[a]
+            ids_a, cover_a = frontier[a]
             prefix = ids_a[:-1]
             for b in range(a + 1, len(frontier)):
-                ids_b, mask_b = frontier[b]
+                ids_b, cover_b = frontier[b]
                 if ids_b[:-1] != prefix:
                     break  # sorted order: no more shared prefixes
                 i, j = ids_a[-1], ids_b[-1]
@@ -63,14 +81,12 @@ def mine_apriori(
                 candidate = ids_a + (j,)
                 if not _all_subsets_frequent(candidate, frequent_prev):
                     continue
-                mask = mask_a & mask_b
-                count = int(np.count_nonzero(mask))
-                if count < min_count:
+                cover = cover_a & cover_b
+                if count_of(cover) < min_count:
                     continue
-                stats = universe.stats_of_mask(mask)
-                next_frontier.append((candidate, mask))
+                next_frontier.append((candidate, cover))
                 next_frequent.add(candidate)
-                results.append(MinedItemset(frozenset(candidate), stats))
+                results.append(MinedItemset(frozenset(candidate), stats_of(cover)))
         frontier = next_frontier
         frequent_prev = next_frequent
         length += 1

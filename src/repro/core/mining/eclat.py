@@ -21,11 +21,19 @@ def mine_eclat(
     universe: EncodedUniverse,
     min_support: float,
     max_length: int | None = None,
+    engine=None,
 ) -> list[MinedItemset]:
     """Mine all frequent itemsets depth-first.
 
+    With ``engine`` given (a :class:`~repro.core.mining.bitset.\
+BitsetEngine`), tid-sets live as packed uint64 covers and the DFS runs
+    batched inside the engine — same itemsets, statistics and emission
+    order as the boolean-mask path below.
+
     See :func:`repro.core.mining.transactions.mine` for parameters.
     """
+    if engine is not None:
+        return engine.mine(min_support, max_length)
     if not 0.0 < min_support <= 1.0:
         raise ValueError("min_support must be in (0, 1]")
     min_count = max(1, math.ceil(min_support * universe.n_rows))

@@ -116,15 +116,26 @@ def mine_fpgrowth(
     universe: EncodedUniverse,
     min_support: float,
     max_length: int | None = None,
+    engine=None,
 ) -> list[MinedItemset]:
     """Mine all frequent itemsets with FP-Growth.
+
+    With ``engine`` given (a :class:`~repro.core.mining.bitset.\
+BitsetEngine`), the initial frequency scan popcounts packed covers and
+    transactions are unpacked from them; tree construction and mining
+    are unchanged, as are the results.
 
     See :func:`repro.core.mining.transactions.mine` for parameters.
     """
     if not 0.0 < min_support <= 1.0:
         raise ValueError("min_support must be in (0, 1]")
     min_count = max(1, math.ceil(min_support * universe.n_rows))
-    counts = universe.masks.sum(axis=1)
+    if engine is not None:
+        counts = engine.item_counts()
+        transactions = engine.transactions()
+    else:
+        counts = universe.masks.sum(axis=1)
+        transactions = universe.transactions()
     frequent = [i for i in range(universe.n_items()) if counts[i] >= min_count]
     if not frequent:
         return []
@@ -136,7 +147,7 @@ def mine_fpgrowth(
     frequent_set = set(frequent)
     valid = ~np.isnan(universe.outcomes)
     o = universe.outcomes
-    for row, ids in enumerate(universe.transactions()):
+    for row, ids in enumerate(transactions):
         items = [i for i in ids if i in frequent_set]
         if not items:
             continue

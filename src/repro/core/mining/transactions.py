@@ -140,11 +140,17 @@ class MinedItemset:
         )
 
 
+#: Names accepted by :func:`mine`'s ``backend`` parameter.
+BACKENDS = ("fpgrowth", "apriori", "eclat", "bitset")
+
+
 def mine(
     universe: EncodedUniverse,
     min_support: float,
     backend: str = "fpgrowth",
     max_length: int | None = None,
+    n_jobs: int = 1,
+    engine=None,
 ) -> list[MinedItemset]:
     """Mine all frequent itemsets with the chosen backend.
 
@@ -155,19 +161,39 @@ def mine(
     min_support:
         The support threshold ``s`` (fraction of rows).
     backend:
-        ``"fpgrowth"`` (default), ``"apriori"``, or ``"eclat"``; all
-        return the same itemsets and statistics.
+        ``"fpgrowth"`` (default), ``"apriori"``, ``"eclat"``, or
+        ``"bitset"``; all return the same itemsets and statistics.
     max_length:
         Optional cap on itemset cardinality.
+    n_jobs:
+        With ``n_jobs != 1``, first-level prefixes are sharded across
+        worker processes (``repro.core.mining.parallel``); results are
+        identical to the serial bitset backend, in the same order,
+        whatever the backend requested. Non-positive means all cores.
+    engine:
+        Optional :class:`repro.core.mining.bitset.BitsetEngine` to
+        reuse (packed covers + cover cache) instead of building one.
     """
-    from repro.core.mining.apriori import mine_apriori
-    from repro.core.mining.eclat import mine_eclat
-    from repro.core.mining.fpgrowth import mine_fpgrowth
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown mining backend {backend!r}")
+    if n_jobs != 1:
+        from repro.core.mining.parallel import mine_parallel
 
+        return mine_parallel(
+            universe, min_support, max_length, n_jobs=n_jobs, engine=engine
+        )
     if backend == "fpgrowth":
-        return mine_fpgrowth(universe, min_support, max_length)
+        from repro.core.mining.fpgrowth import mine_fpgrowth
+
+        return mine_fpgrowth(universe, min_support, max_length, engine=engine)
     if backend == "apriori":
-        return mine_apriori(universe, min_support, max_length)
+        from repro.core.mining.apriori import mine_apriori
+
+        return mine_apriori(universe, min_support, max_length, engine=engine)
     if backend == "eclat":
-        return mine_eclat(universe, min_support, max_length)
-    raise ValueError(f"unknown mining backend {backend!r}")
+        from repro.core.mining.eclat import mine_eclat
+
+        return mine_eclat(universe, min_support, max_length, engine=engine)
+    from repro.core.mining.bitset import mine_bitset
+
+    return mine_bitset(universe, min_support, max_length, engine=engine)

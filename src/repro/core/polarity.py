@@ -65,24 +65,38 @@ def mine_with_polarity(
     backend: str = "fpgrowth",
     max_length: int | None = None,
     polarize_attributes: Iterable[str] | None = None,
+    n_jobs: int = 1,
+    engine=None,
 ) -> list[MinedItemset]:
     """Mine the positive and negative polarity subspaces and merge.
 
     Each run uses the polarized items of one sign plus all neutral
     items; results are deduplicated (itemsets of only neutral items
-    appear in both runs).
+    appear in both runs). ``backend``, ``n_jobs`` and ``engine`` are
+    forwarded to :func:`repro.core.mining.transactions.mine`; with an
+    engine (or the bitset backend, or parallel mining) both subspace
+    runs slice one set of packed covers instead of re-packing.
     """
     polarities = item_polarities(universe, polarize_attributes)
     positive_ids = [i for i, p in enumerate(polarities) if p >= 0]
     negative_ids = [i for i, p in enumerate(polarities) if p <= 0]
+
+    if engine is None and (backend == "bitset" or n_jobs != 1):
+        from repro.core.mining.bitset import BitsetEngine
+
+        engine = BitsetEngine(universe)
 
     seen: dict[frozenset[int], MinedItemset] = {}
     for ids in (positive_ids, negative_ids):
         if not ids:
             continue
         sub = universe.restricted(ids)
+        sub_engine = engine.restricted(ids) if engine is not None else None
         back = {sub.index[universe.items[i]]: i for i in ids}
-        for found in mine(sub, min_support, backend, max_length):
+        for found in mine(
+            sub, min_support, backend, max_length, n_jobs=n_jobs,
+            engine=sub_engine,
+        ):
             original = frozenset(back[j] for j in found.ids)
             seen.setdefault(original, MinedItemset(original, found.stats))
     return list(seen.values())

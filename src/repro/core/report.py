@@ -61,14 +61,15 @@ def exploration_report(
     """
     if k < 1:
         raise ValueError("k must be positive")
+    headline = result.summary()
     lines = [title, "=" * len(title), ""]
     lines.append(
-        f"dataset statistic f(D) = {result.global_mean / scale:.4g}"
+        f"dataset statistic f(D) = {headline['global_mean'] / scale:.4g}"
         + (f"  (scale: 1/{scale:g})" if scale != 1.0 else "")
     )
     lines.append(
-        f"explored subgroups: {len(result)}  "
-        f"(exploration time {result.elapsed_seconds:.2f}s)"
+        f"explored subgroups: {headline['n_subgroups']}  "
+        f"(exploration time {headline['elapsed_seconds']:.2f}s)"
     )
     significant = benjamini_hochberg(result, alpha=fdr_alpha)
     lines.append(

@@ -196,17 +196,45 @@ class ResultSet:
 
     # -- formatting --------------------------------------------------------
 
-    def to_rows(self, k: int = 10, by: str = "abs_divergence") -> list[dict]:
-        """Top-k results as plain dicts, for table rendering."""
+    def summary(self) -> dict:
+        """Headline numbers of the exploration, as a plain dict.
+
+        The canonical scalar surface for reports, the CLI and the
+        experiment harness: number of explored subgroups, the dataset
+        statistic f(D), the maximum |Δ| found, and the wall-clock
+        exploration time.
+        """
+        return {
+            "n_subgroups": len(self.results),
+            "global_mean": self.global_mean,
+            "max_abs_divergence": self.max_divergence(),
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    def to_rows(
+        self,
+        k: int = 10,
+        by: str = "abs_divergence",
+        min_t: float = 0.0,
+        min_length: int = 0,
+    ) -> list[dict]:
+        """Top-k results as plain dicts, for table rendering.
+
+        Filtering arguments are forwarded to :meth:`top_k`. Each row
+        carries the rendered itemset plus its rounded support, count,
+        mean, divergence, Welch t and length.
+        """
         return [
             {
                 "itemset": str(r.itemset),
                 "support": round(r.support, 4),
+                "count": r.count,
                 "mean": round(r.mean, 4),
                 "divergence": round(r.divergence, 4),
                 "t": round(r.t, 1) if not math.isnan(r.t) else float("nan"),
+                "length": r.length,
             }
-            for r in self.top_k(k, by=by)
+            for r in self.top_k(k, by=by, min_t=min_t, min_length=min_length)
         ]
 
     def __repr__(self) -> str:

@@ -134,15 +134,15 @@ def table3(
             ),
         ]
         for label, result in settings:
-            top = result.top_k(1, by="divergence")
+            top = result.to_rows(1, by="divergence")
             if not top:
                 rows.append((s, label, "(none)", None, None, None))
                 continue
             r = top[0]
             rows.append(
                 (
-                    s, label, str(r.itemset), round(r.support, 2),
-                    round(r.divergence, 3), round(r.t, 1),
+                    s, label, r["itemset"], round(r["support"], 2),
+                    round(r["divergence"], 3), r["t"],
                 )
             )
     return ("s", "Exploration approach", "Itemset", "Sup", "dFPR", "t"), rows
@@ -165,15 +165,15 @@ def table4(
             ("base", run_base(ctx, s, tree_support)),
             ("generalized", run_hierarchical(ctx, s, tree_support)),
         ):
-            top = result.top_k(1, by="divergence")
+            top = result.to_rows(1, by="divergence")
             if not top:
                 rows.append((s, label, "(none)", None, None, None))
                 continue
             r = top[0]
             rows.append(
                 (
-                    s, label, str(r.itemset), round(r.support, 2),
-                    round(r.divergence / 1000.0, 1), round(r.t, 1),
+                    s, label, r["itemset"], round(r["support"], 2),
+                    round(r["divergence"] / 1000.0, 1), r["t"],
                 )
             )
     return ("s", "Itemset type", "Itemset", "Sup", "dIncome(k)", "t"), rows
@@ -194,15 +194,15 @@ def figure2(
     for name in datasets:
         ctx = (contexts or {}).get(name) or load_context(name)
         for s in supports:
-            base = run_base(ctx, s, tree_support)
-            hier = run_hierarchical(ctx, s, tree_support)
+            base = run_base(ctx, s, tree_support).summary()
+            hier = run_hierarchical(ctx, s, tree_support).summary()
             rows.append(
                 (
                     name, s,
-                    round(base.max_divergence(), 3),
-                    round(hier.max_divergence(), 3),
-                    round(base.elapsed_seconds, 3),
-                    round(hier.elapsed_seconds, 3),
+                    round(base["max_abs_divergence"], 3),
+                    round(hier["max_abs_divergence"], 3),
+                    round(base["elapsed_seconds"], 3),
+                    round(hier["elapsed_seconds"], 3),
                 )
             )
     return (
@@ -277,20 +277,20 @@ def figure4(
     for name in datasets:
         ctx = (contexts or {}).get(name) or load_context(name)
         for s in supports:
-            full = run_hierarchical(ctx, s, tree_support, polarity=False)
-            pruned = run_hierarchical(ctx, s, tree_support, polarity=True)
+            full = run_hierarchical(ctx, s, tree_support, polarity=False).summary()
+            pruned = run_hierarchical(ctx, s, tree_support, polarity=True).summary()
             speedup = (
-                full.elapsed_seconds / pruned.elapsed_seconds
-                if pruned.elapsed_seconds > 0
+                full["elapsed_seconds"] / pruned["elapsed_seconds"]
+                if pruned["elapsed_seconds"] > 0
                 else float("nan")
             )
             rows.append(
                 (
                     name, s,
-                    round(full.max_divergence(), 3),
-                    round(pruned.max_divergence(), 3),
-                    round(full.elapsed_seconds, 3),
-                    round(pruned.elapsed_seconds, 3),
+                    round(full["max_abs_divergence"], 3),
+                    round(pruned["max_abs_divergence"], 3),
+                    round(full["elapsed_seconds"], 3),
+                    round(pruned["elapsed_seconds"], 3),
                     round(speedup, 1),
                 )
             )
@@ -330,7 +330,7 @@ def figure5(
             rows.append(
                 (
                     s, label, ranges["a"], ranges["b"], ranges["c"],
-                    round(r.divergence, 3), len(r.itemset),
+                    round(r.divergence, 3), r.length,
                 )
             )
     return ("s", "setting", "a", "b", "c", "dError", "#attrs"), rows
@@ -443,7 +443,7 @@ def performance_discretization(
             (
                 name,
                 round(explorer.last_discretization_seconds_, 3),
-                round(result.elapsed_seconds, 3),
+                round(result.summary()["elapsed_seconds"], 3),
             )
         )
     return ("dataset", "discretization(s)", "exploration(s)"), rows

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.config import ExploreConfig
 from repro.core.discretize import TreeDiscretizer
 from repro.core.explorer import DivExplorer
 from repro.core.hexplorer import HDivExplorer
@@ -96,9 +97,14 @@ def run_base(
     criterion: str = "divergence",
     backend: str = "fpgrowth",
     max_length: int | None = None,
+    n_jobs: int = 1,
 ) -> ResultSet:
     """Base exploration over tree-discretization *leaf* items."""
-    explorer = DivExplorer(support, backend=backend, max_length=max_length)
+    config = ExploreConfig(
+        min_support=support, tree_support=tree_support, criterion=criterion,
+        backend=backend, max_length=max_length, n_jobs=n_jobs,
+    )
+    explorer = DivExplorer(config)
     return explorer.explore(
         ctx.features,
         ctx.outcomes,
@@ -114,20 +120,19 @@ def run_hierarchical(
     backend: str = "fpgrowth",
     polarity: bool = False,
     max_length: int | None = None,
+    n_jobs: int = 1,
 ) -> ResultSet:
     """Generalized (hierarchical) exploration, the H-DivExplorer path.
 
     Predefined categorical hierarchies of the dataset (folktables OCCP
     and POBP) are passed through automatically.
     """
-    explorer = HDivExplorer(
-        min_support=support,
-        tree_support=tree_support,
-        criterion=criterion,
-        backend=backend,
-        polarity=polarity,
-        max_length=max_length,
+    config = ExploreConfig(
+        min_support=support, tree_support=tree_support, criterion=criterion,
+        backend=backend, polarity=polarity, max_length=max_length,
+        n_jobs=n_jobs,
     )
+    explorer = HDivExplorer(config)
     return explorer.explore(
         ctx.features,
         ctx.outcomes,
@@ -144,7 +149,9 @@ def run_manual(
     """Base exploration over the manual discretization (compas only)."""
     if ctx.name != "compas":
         raise ValueError("a manual discretization exists only for compas")
-    explorer = DivExplorer(support, backend=backend, max_length=max_length)
+    explorer = DivExplorer(ExploreConfig(
+        min_support=support, backend=backend, max_length=max_length,
+    ))
     return explorer.explore(
         ctx.features, ctx.outcomes, continuous_items=compas_manual_items()
     )
@@ -163,5 +170,5 @@ def run_quantile_base(
         a: quantile_items(ctx.features, a, n_bins)
         for a in ctx.features.continuous_names
     }
-    explorer = DivExplorer(support, backend=backend)
+    explorer = DivExplorer(ExploreConfig(min_support=support, backend=backend))
     return explorer.explore(ctx.features, ctx.outcomes, continuous_items=items)

@@ -1,0 +1,191 @@
+"""Tests for the unified ExploreConfig construction surface.
+
+Every explorer and baseline must construct from a single
+:class:`ExploreConfig`; historical keyword arguments keep working, with
+renamed spellings (``support=``, ``st=``, ``max_level=``) emitting a
+DeprecationWarning.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.baselines import ErrorTree, SliceFinder, SliceLine
+from repro.core.config import ExploreConfig, resolve_config
+from repro.core.explorer import DivExplorer
+from repro.core.hexplorer import HDivExplorer
+
+
+class TestExploreConfig:
+    def test_defaults(self):
+        cfg = ExploreConfig()
+        assert cfg.min_support == 0.05
+        assert cfg.tree_support == 0.1
+        assert cfg.criterion == "divergence"
+        assert cfg.backend == "fpgrowth"
+        assert cfg.polarity is False
+        assert cfg.max_length is None
+        assert cfg.n_jobs == 1
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ExploreConfig().min_support = 0.2
+
+    def test_replace_revalidates(self):
+        cfg = ExploreConfig().replace(min_support=0.2, backend="bitset")
+        assert cfg.min_support == 0.2 and cfg.backend == "bitset"
+        with pytest.raises(ValueError):
+            cfg.replace(min_support=0.0)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"min_support": 0.0},
+            {"min_support": 1.5},
+            {"tree_support": 0.0},
+            {"criterion": "gini"},
+            {"backend": "mystery"},
+            {"max_length": 0},
+        ],
+    )
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            ExploreConfig(**bad)
+
+
+class TestResolveConfig:
+    def test_kwargs_override_config(self):
+        kwargs = {"min_support": 0.3}
+        cfg = resolve_config(ExploreConfig(min_support=0.1), kwargs)
+        assert cfg.min_support == 0.3
+        assert kwargs == {}  # consumed
+
+    def test_number_positional_is_min_support(self):
+        assert resolve_config(0.2, {}).min_support == 0.2
+
+    def test_defaults_apply_without_config(self):
+        cfg = resolve_config(None, {}, defaults={"min_support": 0.01})
+        assert cfg.min_support == 0.01
+
+    def test_legacy_alias_warns_and_maps(self):
+        with pytest.warns(DeprecationWarning, match="'support' is deprecated"):
+            cfg = resolve_config(None, {"support": 0.15})
+        assert cfg.min_support == 0.15
+
+    def test_canonical_beats_alias(self):
+        with pytest.warns(DeprecationWarning):
+            cfg = resolve_config(None, {"st": 0.5, "tree_support": 0.3})
+        assert cfg.tree_support == 0.3
+
+    def test_bad_config_type(self):
+        with pytest.raises(TypeError):
+            resolve_config("0.05", {})
+
+
+class TestExplorerConstruction:
+    def test_div_explorer_from_config(self):
+        cfg = ExploreConfig(
+            min_support=0.1, backend="bitset", polarity=True, n_jobs=2
+        )
+        ex = DivExplorer(cfg)
+        assert ex.config == cfg
+        assert ex.min_support == 0.1
+        assert ex.backend == "bitset"
+        assert ex.polarity is True
+        assert ex.n_jobs == 2
+
+    def test_hdiv_explorer_from_config(self):
+        cfg = ExploreConfig(min_support=0.07, tree_support=0.2, backend="eclat")
+        ex = HDivExplorer(cfg, max_candidates=16)
+        assert ex.min_support == 0.07
+        assert ex.tree_support == 0.2
+        assert ex.backend == "eclat"
+        assert ex.max_candidates == 16
+
+    def test_legacy_kwargs_silent(self, recwarn):
+        # Canonical keyword spellings are not deprecated.
+        HDivExplorer(min_support=0.1, tree_support=0.2, backend="apriori")
+        DivExplorer(min_support=0.1, max_length=2)
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+    def test_positional_min_support_silent(self, recwarn):
+        ex = HDivExplorer(0.1, tree_support=0.2)
+        assert ex.min_support == 0.1
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+    @pytest.mark.parametrize(
+        "ctor,legacy,canonical",
+        [
+            (HDivExplorer, {"support": 0.2}, ("min_support", 0.2)),
+            (HDivExplorer, {"st": 0.3}, ("tree_support", 0.3)),
+            (HDivExplorer, {"max_level": 2}, ("max_length", 2)),
+            (DivExplorer, {"support": 0.2}, ("min_support", 0.2)),
+        ],
+    )
+    def test_renamed_kwargs_warn(self, ctor, legacy, canonical):
+        with pytest.warns(DeprecationWarning):
+            ex = ctor(**legacy)
+        name, value = canonical
+        assert getattr(ex.config, name) == value
+
+    def test_unknown_kwarg_raises(self):
+        with pytest.raises(TypeError):
+            HDivExplorer(min_supprt=0.1)
+        with pytest.raises(TypeError):
+            DivExplorer(tree_supportt=0.2)
+
+    def test_config_and_kwargs_mix(self):
+        ex = DivExplorer(ExploreConfig(min_support=0.1), backend="eclat")
+        assert ex.min_support == 0.1 and ex.backend == "eclat"
+
+
+class TestBaselineConstruction:
+    def test_sliceline_from_config(self):
+        sl = SliceLine(ExploreConfig(min_support=0.2, max_length=2), k=5)
+        assert sl.min_support == 0.2
+        assert sl.max_level == 2
+        assert sl.k == 5
+
+    def test_sliceline_defaults(self):
+        sl = SliceLine()
+        assert sl.min_support == 0.01
+        assert sl.max_level == 3
+
+    def test_sliceline_max_level_warns(self):
+        with pytest.warns(DeprecationWarning):
+            sl = SliceLine(max_level=2)
+        assert sl.max_level == 2
+
+    def test_slicefinder_from_config(self):
+        sf = SliceFinder(ExploreConfig(max_length=1), k=3)
+        assert sf.max_level == 1 and sf.k == 3
+
+    def test_slicefinder_max_level_validation(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                SliceFinder(max_level=0)
+
+    def test_errortree_from_config(self):
+        et = ErrorTree(ExploreConfig(min_support=0.2, criterion="entropy"))
+        assert et.min_support == 0.2
+        assert et.criterion == "entropy"
+
+    def test_errortree_legacy_kwargs(self):
+        et = ErrorTree(min_support=0.1, max_depth=2)
+        assert et.min_support == 0.1 and et.max_depth == 2
+
+
+class TestConfigDrivenExploration:
+    def test_config_equals_legacy_results(self, pocket_data):
+        table, errors = pocket_data
+        cfg = ExploreConfig(min_support=0.1, tree_support=0.2)
+        from_config = HDivExplorer(cfg).explore(table, errors)
+        legacy = HDivExplorer(0.1, tree_support=0.2).explore(table, errors)
+        assert from_config.itemsets() == legacy.itemsets()
+
+    def test_bitset_backend_config(self, pocket_data):
+        table, errors = pocket_data
+        cfg = ExploreConfig(min_support=0.1, tree_support=0.2, backend="bitset")
+        bit = HDivExplorer(cfg).explore(table, errors)
+        ref = HDivExplorer(0.1, tree_support=0.2).explore(table, errors)
+        assert bit.itemsets() == ref.itemsets()

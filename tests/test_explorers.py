@@ -121,6 +121,34 @@ class TestHDivExplorer:
         gamma.validate(table)
         assert explorer.last_discretization_seconds_ >= 0
 
+    def test_discretization_seconds_set_without_discretization(
+        self, pocket_data
+    ):
+        """Regression: the timing attribute must be set by ``explore``
+        even when every attribute comes with a predefined hierarchy and
+        the tree discretizer never runs."""
+        table, errors = pocket_data
+        from repro.core.hierarchy import ItemHierarchy
+
+        hierarchies = []
+        for attr in ("x", "y"):
+            root = IntervalItem(attr)
+            hierarchies.append(
+                ItemHierarchy(
+                    attr, root,
+                    {root: (IntervalItem(attr, high=0),
+                            IntervalItem(attr, low=0))},
+                )
+            )
+        explorer = HDivExplorer(0.1)
+        explorer.last_discretization_seconds_ = None  # sentinel
+        explorer.explore(table, errors, hierarchies=hierarchies)
+        # No attribute was discretized...
+        assert set(explorer.last_hierarchies_.attributes) == {"x", "y"}
+        # ...yet the timing attribute was still refreshed.
+        assert explorer.last_discretization_seconds_ is not None
+        assert explorer.last_discretization_seconds_ >= 0.0
+
     def test_predefined_hierarchy_respected(self, pocket_data):
         table, errors = pocket_data
         from repro.core.hierarchy import ItemHierarchy

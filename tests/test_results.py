@@ -139,7 +139,9 @@ class TestToRows:
     def test_rows_shape(self, result_set):
         rows = result_set.to_rows(2)
         assert len(rows) == 2
-        assert set(rows[0]) == {"itemset", "support", "mean", "divergence", "t"}
+        assert set(rows[0]) == {
+            "itemset", "support", "count", "mean", "divergence", "t", "length",
+        }
 
     def test_nan_t_preserved(self):
         r = SubgroupResult(
