@@ -1,10 +1,22 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-engine
+.PHONY: test lint lint-json lint-baseline verify bench bench-smoke bench-engine
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+lint:
+	$(PYTHON) -m repro.devtools.lint src benchmarks
+
+lint-json:
+	$(PYTHON) -m repro.devtools.lint src benchmarks \
+		--format json --output benchmark_results/lint.json
+
+lint-baseline:
+	$(PYTHON) -m repro.devtools.lint src benchmarks --write-baseline
+
+verify: lint test bench-smoke
 
 bench-smoke:
 	$(PYTHON) benchmarks/smoke.py

@@ -5,7 +5,9 @@ per mining backend (plus the 2-way parallel bitset path) and fails if
 
 * any single run takes longer than ``TIME_BUDGET`` seconds, or
 * any backend's ResultSet diverges from the fpgrowth reference
-  (same subgroups, same counts, divergences equal at 9 decimals).
+  (same subgroups, same counts, divergences equal at 9 decimals), or
+* reprolint reports any non-baselined finding over ``src`` +
+  ``benchmarks`` (the determinism/purity static gate).
 
 Usage::
 
@@ -16,9 +18,14 @@ from __future__ import annotations
 
 import sys
 import time
+from pathlib import Path
 
 from repro.core.mining import BACKENDS
+from repro.devtools import Baseline, LintRunner
+from repro.devtools.suppressions import BASELINE_FILENAME
 from repro.experiments.harness import load_context, run_hierarchical
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 SUPPORT = 0.05
 TIME_BUDGET = 5.0
@@ -57,6 +64,21 @@ def main() -> int:
         print(
             f"{label:20s} {len(sig):5d} subgroups  {elapsed:6.2f}s  {status}"
         )
+
+    lint_report = LintRunner(
+        root=REPO_ROOT,
+        baseline=Baseline.load(REPO_ROOT / BASELINE_FILENAME),
+    ).run([REPO_ROOT / "src", REPO_ROOT / "benchmarks"])
+    lint_status = "ok" if lint_report.ok else "FINDINGS"
+    print(
+        f"{'reprolint':20s} {lint_report.files_checked:5d} files      "
+        f"      {lint_status}"
+    )
+    if not lint_report.ok:
+        for finding in lint_report.findings:
+            print(f"  {finding.render()}", file=sys.stderr)
+        failures.append("reprolint")
+
     if failures:
         print(f"smoke FAILED: {', '.join(failures)}", file=sys.stderr)
         return 1

@@ -87,7 +87,7 @@ class ExploreConfig:
         if self.max_length is not None and self.max_length < 1:
             raise ValueError("max_length must be positive")
 
-    def replace(self, **changes) -> "ExploreConfig":
+    def replace(self, **changes: object) -> "ExploreConfig":
         """A copy with the given fields changed (and re-validated)."""
         return dataclasses.replace(self, **changes)
 
@@ -97,8 +97,8 @@ _FIELD_NAMES = frozenset(f.name for f in dataclasses.fields(ExploreConfig))
 
 def resolve_config(
     config: "ExploreConfig | float | None",
-    kwargs: dict,
-    defaults: dict | None = None,
+    kwargs: dict[str, object],
+    defaults: dict[str, object] | None = None,
     owner: str = "this constructor",
 ) -> ExploreConfig:
     """Build the effective :class:`ExploreConfig` for a constructor.

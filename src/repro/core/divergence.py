@@ -111,7 +111,8 @@ def welch_t(subgroup: OutcomeStats, dataset: OutcomeStats) -> float:
         return float("nan")
     delta = divergence(subgroup, dataset)
     pooled = subgroup.variance / subgroup.n + dataset.variance / dataset.n
-    if pooled == 0.0:
+    if pooled == 0.0:  # reprolint: disable=RPL006 (exact-zero guard)
+        # reprolint: disable-next-line=RPL006 (both variances exactly 0)
         return 0.0 if delta == 0.0 else math.inf
     return abs(delta) / math.sqrt(pooled)
 
@@ -124,10 +125,10 @@ def welch_degrees_of_freedom(
         return float("nan")
     a = subgroup.variance / subgroup.n
     b = dataset.variance / dataset.n
-    if a + b == 0.0:
+    if a + b == 0.0:  # reprolint: disable=RPL006 (exact-zero guard)
         return float("nan")
     denom = a * a / (subgroup.n - 1) + b * b / (dataset.n - 1)
-    if denom == 0.0:
+    if denom == 0.0:  # reprolint: disable=RPL006 (exact-zero guard)
         return float("nan")
     return (a + b) ** 2 / denom
 

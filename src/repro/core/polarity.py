@@ -52,6 +52,7 @@ def item_polarities(
             polarities.append(0)
             continue
         delta = stats.mean - global_mean
+        # reprolint: disable-next-line=RPL006 (exact zero = unpolarized)
         if math.isnan(delta) or delta == 0.0:
             polarities.append(0)
         else:

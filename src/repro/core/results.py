@@ -83,7 +83,7 @@ class ResultSet:
         results: Iterable[SubgroupResult],
         global_stats: OutcomeStats,
         elapsed_seconds: float = 0.0,
-    ):
+    ) -> None:
         self.results = list(results)
         self.global_stats = global_stats
         self.elapsed_seconds = elapsed_seconds
@@ -196,7 +196,7 @@ class ResultSet:
 
     # -- formatting --------------------------------------------------------
 
-    def summary(self) -> dict:
+    def summary(self) -> dict[str, float | int]:
         """Headline numbers of the exploration, as a plain dict.
 
         The canonical scalar surface for reports, the CLI and the
@@ -217,7 +217,7 @@ class ResultSet:
         by: str = "abs_divergence",
         min_t: float = 0.0,
         min_length: int = 0,
-    ) -> list[dict]:
+    ) -> list[dict[str, object]]:
         """Top-k results as plain dicts, for table rendering.
 
         Filtering arguments are forwarded to :meth:`top_k`. Each row

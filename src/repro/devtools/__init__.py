@@ -1,0 +1,29 @@
+"""Development tooling for the reproduction — no third-party deps.
+
+The centerpiece is *reprolint* (``repro.devtools.lint``), an AST-based
+static analyzer that enforces the determinism and purity invariants the
+test suite can only sample:
+
+* no banned substrate (pandas / sklearn / network clients),
+* no global RNG — randomness flows through injected ``Generator``\\ s,
+* bit-identical results regardless of set iteration order, forked
+  worker state or wall-clock timing primitives,
+* frozen ``ExploreConfig`` semantics and loudly-deprecated shims.
+
+Run it with ``python -m repro.devtools.lint src benchmarks`` or
+``make lint``. See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue.
+"""
+
+from repro.devtools.model import Finding, Rule, Severity, all_rules, get_rule
+from repro.devtools.runner import LintRunner
+from repro.devtools.suppressions import Baseline
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintRunner",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "get_rule",
+]

@@ -1,0 +1,166 @@
+"""The reprolint command line.
+
+Usage::
+
+    python -m repro.devtools.lint [paths ...]
+        [--format {text,json}] [--output FILE]
+        [--baseline FILE | --no-baseline] [--write-baseline]
+        [--select RPL001,RPL005] [--list-rules] [--root DIR]
+
+Exit status: 0 when no (non-suppressed, non-baselined) findings, 1 when
+findings remain, 2 on usage errors. Default paths are ``src`` and
+``benchmarks`` under the repo root, matching the CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.devtools.model import all_rules
+from repro.devtools.reporting import render_json, render_text
+from repro.devtools.runner import LintRunner
+from repro.devtools.suppressions import BASELINE_FILENAME, Baseline
+
+DEFAULT_PATHS = ("src", "benchmarks")
+
+
+def find_root(start: Path) -> Path:
+    """The nearest ancestor holding pyproject.toml (else ``start``)."""
+    for candidate in (start, *start.parents):
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    return start
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="AST-based determinism & purity analyzer for the "
+        "H-DivExplorer reproduction.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files or directories to analyze "
+        f"(default: {' '.join(DEFAULT_PATHS)} under the repo root)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write the report to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file (default: <root>/{BASELINE_FILENAME})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file: report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repo root override (default: nearest pyproject.toml)",
+    )
+    return parser
+
+
+def list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.code} {rule.name} [{rule.severity}]")
+        lines.append(f"    {rule.rationale}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    opts = parser.parse_args(argv)
+
+    if opts.list_rules:
+        print(list_rules())
+        return 0
+
+    root = (opts.root or find_root(Path.cwd())).resolve()
+    paths = (
+        [Path(p) for p in opts.paths]
+        if opts.paths
+        else [root / p for p in DEFAULT_PATHS]
+    )
+    for path in paths:
+        if not path.exists():
+            parser.error(f"no such path: {path}")
+
+    rules = all_rules()
+    if opts.select:
+        wanted = {code.strip() for code in opts.select.split(",")}
+        known = {rule.code for rule in rules}
+        unknown = wanted - known
+        if unknown:
+            parser.error(f"unknown rule codes: {', '.join(sorted(unknown))}")
+        rules = [rule for rule in rules if rule.code in wanted]
+
+    baseline_path = opts.baseline or root / BASELINE_FILENAME
+    baseline = (
+        Baseline()
+        if (opts.no_baseline or opts.write_baseline)
+        else Baseline.load(baseline_path)
+    )
+
+    runner = LintRunner(root=root, rules=rules, baseline=baseline)
+    report = runner.run(paths)
+
+    if opts.write_baseline:
+        Baseline.from_findings(report.findings).dump(baseline_path)
+        print(
+            f"reprolint: wrote {len(report.findings)} baseline entries "
+            f"to {baseline_path}"
+        )
+        return 0
+
+    rendered = (
+        render_json(report) if opts.format == "json" else render_text(report)
+    )
+    if opts.output is not None:
+        opts.output.parent.mkdir(parents=True, exist_ok=True)
+        opts.output.write_text(
+            rendered if rendered.endswith("\n") else rendered + "\n",
+            encoding="utf-8",
+        )
+        print(f"reprolint: report written to {opts.output}")
+    else:
+        print(rendered)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

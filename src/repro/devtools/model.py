@@ -1,0 +1,174 @@
+"""Core datatypes of reprolint: findings, rules and the rule registry.
+
+A :class:`Rule` is a named, coded check over one parsed module. Rules
+register themselves with :func:`register` at import time; the runner
+asks the registry which rules apply to each file (``applies_to``) and
+collects the :class:`Finding` objects they yield.
+
+Every finding carries a *fingerprint* — a hash of the repo-relative
+path, the rule code and the stripped source line text. Fingerprints are
+stable under unrelated edits that only move a line, which is what makes
+the checked-in baseline file practical (see
+:mod:`repro.devtools.suppressions`).
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+class Severity(enum.Enum):
+    """How bad a finding is. Both levels fail the gate; the level only
+    orders the report and signals intent (``ERROR`` = invariant broken,
+    ``WARNING`` = fragile pattern)."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def fingerprint(path: str, code: str, line_text: str) -> str:
+    """Stable identity of a finding: path + rule code + line content.
+
+    Line *numbers* are deliberately excluded so that inserting an
+    unrelated import at the top of a file does not invalidate a
+    baseline entry further down.
+    """
+    payload = f"{path}::{code}::{line_text.strip()}"
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+    fingerprint: str = ""
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code} [{self.severity}] {self.message}"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "code": self.code,
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may inspect about the module under analysis.
+
+    ``path`` is repo-relative with ``/`` separators — rule scoping
+    matches against it. ``lines`` are the raw source lines (1-based
+    access through :meth:`line_text`).
+    """
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class Rule:
+    """Base class for reprolint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding ``(node, message)`` pairs; the runner turns those into
+    :class:`Finding` objects (attaching path, line, column and
+    fingerprint). Override :meth:`applies_to` to scope a rule to part
+    of the tree — e.g. library-only or module-specific checks.
+    """
+
+    #: Unique code, ``RPL0xx``. Suppression comments and the baseline
+    #: refer to rules by this code.
+    code: str = "RPL000"
+    #: Short kebab-case name shown in ``--list-rules``.
+    name: str = "abstract-rule"
+    severity: Severity = Severity.ERROR
+    #: One-line rationale tying the rule to a reproduction invariant.
+    rationale: str = ""
+
+    def applies_to(self, path: str) -> bool:
+        return True
+
+    def check(self, ctx: ModuleContext) -> Iterator[tuple[ast.AST, str]]:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def finding(self, ctx: ModuleContext, node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            code=self.code,
+            rule=self.name,
+            severity=self.severity,
+            path=ctx.path,
+            line=line,
+            col=col,
+            message=message,
+            fingerprint=fingerprint(ctx.path, self.code, ctx.line_text(line)),
+        )
+
+    def run(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node, message in self.check(ctx):
+            yield self.finding(ctx, node, message)
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and index a rule by its code."""
+    rule = cls()
+    if rule.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    _REGISTRY[rule.code] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, ordered by code."""
+    import repro.devtools.rules  # noqa: F401  (registration side effect)
+
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Rule:
+    import repro.devtools.rules  # noqa: F401  (registration side effect)
+
+    return _REGISTRY[code]
+
+
+def iter_findings(
+    rules: Iterable[Rule], ctx: ModuleContext
+) -> Iterator[Finding]:
+    for rule in rules:
+        if rule.applies_to(ctx.path):
+            yield from rule.run(ctx)

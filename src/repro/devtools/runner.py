@@ -1,0 +1,168 @@
+"""The reprolint runner: file walking, parsing and finding collection.
+
+:class:`LintRunner` is the library entry point — the CLI
+(:mod:`repro.devtools.lint`), the pytest gate
+(``tests/test_lint_gate.py``) and the benchmark smoke gate all build
+one and call :meth:`LintRunner.run`. Files are visited in sorted order
+and findings are reported sorted by (path, line, code), so output is
+deterministic — the analyzer holds itself to the invariants it checks.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import repro.devtools.rules  # noqa: F401  (rule registration side effect)
+from repro.devtools.model import (
+    Finding,
+    ModuleContext,
+    Rule,
+    Severity,
+    all_rules,
+    fingerprint,
+)
+from repro.devtools.suppressions import Baseline, parse_suppressions
+
+#: Directory names never descended into.
+SKIPPED_DIRS = {"__pycache__", ".git", ".venv", "build", "dist"}
+
+PARSE_ERROR_CODE = "RPL000"
+
+
+@dataclass
+class LintReport:
+    """Outcome of one analyzer run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed_inline: int = 0
+    suppressed_baseline: int = 0
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "suppressed_inline": self.suppressed_inline,
+            "suppressed_baseline": self.suppressed_baseline,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories into sorted ``.py`` file paths."""
+    seen: set[Path] = set()
+    for path in sorted(paths):
+        if path.is_file():
+            candidates = [path] if path.suffix == ".py" else []
+        else:
+            candidates = sorted(
+                p
+                for p in path.rglob("*.py")
+                if not (set(p.parts) & SKIPPED_DIRS)
+            )
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+class LintRunner:
+    """Run a set of rules over a tree, applying suppressions.
+
+    Parameters
+    ----------
+    root:
+        Repo root; finding paths are reported relative to it (posix
+        separators) so fingerprints and rule scoping are
+        machine-independent.
+    rules:
+        Rules to run (default: the full registry).
+    baseline:
+        Grandfathered fingerprints; matching findings are dropped and
+        counted in ``suppressed_baseline``.
+    """
+
+    def __init__(
+        self,
+        root: Path,
+        rules: Iterable[Rule] | None = None,
+        baseline: Baseline | None = None,
+    ):
+        self.root = root.resolve()
+        self.rules = list(rules) if rules is not None else all_rules()
+        self.baseline = baseline or Baseline()
+        self._last_inline_suppressed = 0
+
+    def relpath(self, path: Path) -> str:
+        resolved = path.resolve()
+        try:
+            return resolved.relative_to(self.root).as_posix()
+        except ValueError:
+            return resolved.as_posix()
+
+    def check_source(self, source: str, relpath: str) -> list[Finding]:
+        """Analyze one module's source, applying inline pragmas only.
+
+        The building block for :meth:`run` and for per-rule unit tests
+        (which feed fixture snippets under synthetic paths to exercise
+        rule scoping).
+        """
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            lineno = exc.lineno or 1
+            return [
+                Finding(
+                    code=PARSE_ERROR_CODE,
+                    rule="parse-error",
+                    severity=Severity.ERROR,
+                    path=relpath,
+                    line=lineno,
+                    col=exc.offset or 0,
+                    message=f"could not parse module: {exc.msg}",
+                    fingerprint=fingerprint(relpath, PARSE_ERROR_CODE, ""),
+                )
+            ]
+        ctx = ModuleContext(
+            path=relpath,
+            source=source,
+            tree=tree,
+            lines=source.splitlines(),
+        )
+        suppressions = parse_suppressions(source)
+        kept: list[Finding] = []
+        self._last_inline_suppressed = 0
+        for rule in self.rules:
+            if not rule.applies_to(relpath):
+                continue
+            for finding in rule.run(ctx):
+                if suppressions.is_suppressed(finding):
+                    self._last_inline_suppressed += 1
+                else:
+                    kept.append(finding)
+        return kept
+
+    def run(self, paths: Iterable[Path]) -> LintReport:
+        """Analyze every python file under ``paths``."""
+        report = LintReport()
+        for path in iter_python_files(paths):
+            relpath = self.relpath(path)
+            source = path.read_text(encoding="utf-8")
+            findings = self.check_source(source, relpath)
+            report.files_checked += 1
+            report.suppressed_inline += self._last_inline_suppressed
+            for finding in findings:
+                if self.baseline.contains(finding):
+                    report.suppressed_baseline += 1
+                else:
+                    report.findings.append(finding)
+        report.findings.sort(key=lambda f: (f.path, f.line, f.code))
+        return report

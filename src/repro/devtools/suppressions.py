@@ -1,0 +1,124 @@
+"""Finding suppression: inline pragmas and the checked-in baseline.
+
+Two mechanisms, for two audiences:
+
+* **Inline pragmas** — ``# reprolint: disable=RPL006`` on the flagged
+  line (or ``# reprolint: disable-file=RPL0xx`` anywhere in the file)
+  silence a rule *at the code*, with the justification sitting next to
+  the construct. This is the preferred form for deliberate exceptions,
+  e.g. exact-zero guards in the divergence math.
+
+* **Baseline file** — a JSON list of finding fingerprints
+  (path + code + line text, see :func:`repro.devtools.model.fingerprint`)
+  checked in at the repo root (``.reprolint.json``). It grandfathers
+  existing findings without touching the code, so new rules can land
+  strict while old debt is burned down incrementally. Regenerate with
+  ``python -m repro.devtools.lint --write-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.devtools.model import Finding
+
+#: Default baseline location, relative to the repo root.
+BASELINE_FILENAME = ".reprolint.json"
+
+_PRAGMA = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable-next-line|disable-file|disable)\s*=\s*"
+    r"(?P<codes>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)"
+)
+
+
+@dataclass
+class SuppressionIndex:
+    """Pragmas parsed from one module's source.
+
+    ``by_line`` maps a 1-based line number to the rule codes disabled on
+    that line; ``file_wide`` holds codes disabled for the whole module.
+    """
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    file_wide: set[str] = field(default_factory=set)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        if finding.code in self.file_wide:
+            return True
+        return finding.code in self.by_line.get(finding.line, set())
+
+
+def parse_suppressions(source: str) -> SuppressionIndex:
+    """Scan raw source for ``# reprolint:`` pragmas.
+
+    A plain-text scan (not tokenize) keeps this robust on files that do
+    not parse — suppression of the parse-error finding itself is not
+    supported, which is intentional.
+    """
+    index = SuppressionIndex()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(line)
+        if match is None:
+            continue
+        codes = {c.strip() for c in match.group("codes").split(",")}
+        kind = match.group("kind")
+        if kind == "disable-file":
+            index.file_wide.update(codes)
+        elif kind == "disable-next-line":
+            index.by_line.setdefault(lineno + 1, set()).update(codes)
+        else:
+            index.by_line.setdefault(lineno, set()).update(codes)
+    return index
+
+
+class Baseline:
+    """The checked-in set of grandfathered finding fingerprints."""
+
+    VERSION = 1
+
+    def __init__(self, entries: Iterable[dict] | None = None):
+        self.entries: list[dict] = list(entries or [])
+        self._fingerprints = {e["fingerprint"] for e in self.entries}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def contains(self, finding: Finding) -> bool:
+        return finding.fingerprint in self._fingerprints
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != cls.VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} "
+                f"in {path}"
+            )
+        return cls(data.get("findings", []))
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        entries = [
+            {
+                "code": f.code,
+                "path": f.path,
+                "fingerprint": f.fingerprint,
+                "message": f.message,
+            }
+            for f in sorted(findings, key=lambda f: (f.path, f.code, f.line))
+        ]
+        return cls(entries)
+
+    def dump(self, path: Path) -> None:
+        payload = {"version": self.VERSION, "findings": self.entries}
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )

@@ -1,0 +1,62 @@
+"""The PR 1 legacy-kwarg shims, swept across every constructor.
+
+Each explorer/baseline accepts the historical spellings ``support=``,
+``st=`` and ``max_level=``; all must emit a ``DeprecationWarning`` and
+land on the canonical :class:`ExploreConfig` field, while the canonical
+spellings stay silent. reprolint's RPL011 enforces the *implementation*
+shape (no silent legacy pops); this test pins the observable behaviour.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.baselines import ErrorTree, SliceFinder, SliceLine
+from repro.core.config import LEGACY_ALIASES
+from repro.core.explorer import DivExplorer
+from repro.core.hexplorer import HDivExplorer
+
+ALL_CLASSES = [HDivExplorer, DivExplorer, SliceFinder, SliceLine, ErrorTree]
+
+LEGACY_CASES = [
+    ("support", "min_support", 0.07),
+    ("st", "tree_support", 0.21),
+    ("max_level", "max_length", 3),
+]
+
+
+@pytest.mark.parametrize("cls", ALL_CLASSES, ids=lambda c: c.__name__)
+@pytest.mark.parametrize(
+    "legacy,canonical,value", LEGACY_CASES, ids=[c[0] for c in LEGACY_CASES]
+)
+def test_legacy_kwarg_warns_and_maps(cls, legacy, canonical, value):
+    with pytest.warns(
+        DeprecationWarning, match=f"keyword {legacy!r} is deprecated"
+    ):
+        obj = cls(**{legacy: value})
+    assert getattr(obj.config, canonical) == value
+
+
+@pytest.mark.parametrize("cls", ALL_CLASSES, ids=lambda c: c.__name__)
+@pytest.mark.parametrize(
+    "legacy,canonical,value", LEGACY_CASES, ids=[c[0] for c in LEGACY_CASES]
+)
+def test_canonical_spelling_is_silent(cls, legacy, canonical, value):
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        obj = cls(**{canonical: value})
+    assert getattr(obj.config, canonical) == value
+
+
+@pytest.mark.parametrize("cls", ALL_CLASSES, ids=lambda c: c.__name__)
+def test_canonical_beats_legacy_alias(cls):
+    with pytest.warns(DeprecationWarning):
+        obj = cls(support=0.03, min_support=0.09)
+    assert obj.config.min_support == 0.09
+
+
+def test_case_table_covers_every_alias():
+    assert {c[0] for c in LEGACY_CASES} == set(LEGACY_ALIASES)
+    assert {c[1] for c in LEGACY_CASES} == set(LEGACY_ALIASES.values())

@@ -1,0 +1,45 @@
+"""Tier-1 CI gate: the tree must be reprolint-clean.
+
+Runs the full analyzer over ``src/`` and ``benchmarks/`` with the
+checked-in baseline, exactly like ``make lint``, and fails on any
+non-baselined finding. This is what turns the determinism/purity rules
+from advice into an enforced invariant.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.devtools import Baseline, LintRunner
+from repro.devtools.suppressions import BASELINE_FILENAME
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+def run_gate():
+    baseline = Baseline.load(ROOT / BASELINE_FILENAME)
+    runner = LintRunner(root=ROOT, baseline=baseline)
+    return runner.run([ROOT / "src", ROOT / "benchmarks"])
+
+
+def test_tree_is_lint_clean():
+    report = run_gate()
+    details = "\n".join(f.render() for f in report.findings)
+    assert report.ok, f"reprolint findings:\n{details}"
+
+
+def test_gate_actually_covers_the_tree():
+    report = run_gate()
+    # 64 library modules + ~21 benchmark files at the time of writing;
+    # a collapse in coverage means the walker broke, not that the tree
+    # shrank.
+    assert report.files_checked >= 80
+
+
+def test_no_stale_baseline_entries():
+    # Every baseline entry must still match a real finding — otherwise
+    # the debt was paid down and the entry should be deleted
+    # (python -m repro.devtools.lint --write-baseline).
+    baseline = Baseline.load(ROOT / BASELINE_FILENAME)
+    report = run_gate()
+    assert len(baseline) == report.suppressed_baseline
