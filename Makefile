@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-json lint-baseline verify bench bench-smoke bench-engine
+.PHONY: test lint lint-json lint-baseline verify bench bench-smoke obs-smoke bench-engine
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -16,10 +16,13 @@ lint-json:
 lint-baseline:
 	$(PYTHON) -m repro.devtools.lint src benchmarks --write-baseline
 
-verify: lint test bench-smoke
+verify: lint test bench-smoke obs-smoke
 
 bench-smoke:
 	$(PYTHON) benchmarks/smoke.py
+
+obs-smoke:
+	$(PYTHON) benchmarks/smoke.py --obs
 
 bench-engine:
 	$(PYTHON) -m pytest benchmarks/bench_bitset_engine.py -q

@@ -3,7 +3,10 @@
 Each bench regenerates one paper artifact (table or figure), times the
 computation via pytest-benchmark (single round — these are experiment
 reproductions, not microbenchmarks), and writes the rendered output to
-``benchmark_results/<name>.txt`` as well as stdout.
+``benchmark_results/<name>.txt`` as well as stdout. Every artifact
+also gets a machine-readable ``BENCH_<name>.json`` (schema
+``repro.obs/bench@1``): phase timings, the metric counters/gauges, the
+span trace, and a fingerprint of the configuration that produced it.
 """
 
 from __future__ import annotations
@@ -13,18 +16,30 @@ from pathlib import Path
 import pytest
 
 from repro.experiments import load_context
+from repro.obs import NULL_OBS, write_bench_json
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmark_results"
 
 
 @pytest.fixture(scope="session")
 def emit():
-    """Write a rendered artifact to stdout and benchmark_results/."""
+    """Write a rendered artifact to stdout and benchmark_results/.
+
+    ``_emit(name, text, obs=..., config=..., extra=...)`` writes
+    ``<name>.txt`` plus the telemetry sidecar ``BENCH_<name>.json``.
+    Benches that never built a collector still get a (schema-valid,
+    empty-metrics) sidecar, so downstream tooling can rely on the
+    file's existence.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
 
-    def _emit(name: str, text: str) -> None:
+    def _emit(name, text, obs=NULL_OBS, config=None, extra=None):
         print(f"\n{text}\n")
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        write_bench_json(
+            RESULTS_DIR / f"BENCH_{name}.json",
+            name, obs=obs, config=config, extra=extra,
+        )
 
     return _emit
 

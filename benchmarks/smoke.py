@@ -9,9 +9,16 @@ per mining backend (plus the 2-way parallel bitset path) and fails if
 * reprolint reports any non-baselined finding over ``src`` +
   ``benchmarks`` (the determinism/purity static gate).
 
+With ``--obs`` it instead runs the observability gate on the same
+Figure-2 workload: telemetry JSON must be emitted and schema-valid,
+enabling a collector must not change the ResultSet, and instrumented
+runs must stay within ``MAX_OBS_OVERHEAD`` of the disabled-mode wall
+time (best-of-3, with an absolute epsilon for timer noise).
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/smoke.py    # or: make bench-smoke
+    PYTHONPATH=src python benchmarks/smoke.py          # or: make bench-smoke
+    PYTHONPATH=src python benchmarks/smoke.py --obs    # or: make obs-smoke
 """
 
 from __future__ import annotations
@@ -29,6 +36,11 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 SUPPORT = 0.05
 TIME_BUDGET = 5.0
+
+#: Instrumented wall time may exceed disabled-mode by at most this
+#: fraction (plus EPSILON_SECONDS of absolute timer slack).
+MAX_OBS_OVERHEAD = 0.05
+EPSILON_SECONDS = 0.05
 
 VARIANTS = [(backend, 1) for backend in BACKENDS] + [("bitset", 2)]
 
@@ -86,5 +98,70 @@ def main() -> int:
     return 0
 
 
+def obs_main() -> int:
+    """Observability gate: telemetry validity + disabled-mode overhead."""
+    from repro.obs import ObsCollector, validate_bench_payload, write_bench_json
+
+    ctx = load_context("synthetic-peak")
+    ctx.leaf_items(0.1, "divergence")  # warm the discretization cache
+    failures = []
+
+    def timed(obs=None):
+        start = time.perf_counter()
+        result = run_hierarchical(ctx, SUPPORT, obs=obs)
+        return time.perf_counter() - start, result
+
+    timed()  # warm up caches/imports outside the measurement
+    off_runs = [timed() for _ in range(3)]
+    collectors = [ObsCollector() for _ in range(3)]
+    on_runs = [timed(c) for c in collectors]
+    t_off = min(t for t, _ in off_runs)
+    t_on = min(t for t, _ in on_runs)
+    overhead = (t_on - t_off) / t_off
+    budget = t_off * (1.0 + MAX_OBS_OVERHEAD) + EPSILON_SECONDS
+    status = "ok" if t_on <= budget else f"TOO SLOW (> {budget:.2f}s)"
+    if t_on > budget:
+        failures.append("overhead")
+    print(
+        f"{'overhead':20s} off={t_off:.3f}s  on={t_on:.3f}s  "
+        f"({overhead:+.1%})  {status}"
+    )
+
+    if signature(on_runs[0][1]) != signature(off_runs[0][1]):
+        failures.append("determinism")
+        print(f"{'determinism':20s} collector changed the ResultSet  FAILED")
+    else:
+        print(f"{'determinism':20s} identical with and without obs  ok")
+
+    obs = collectors[0]
+    out = REPO_ROOT / "benchmark_results" / "BENCH_smoke_fig2.json"
+    out.parent.mkdir(exist_ok=True)
+    payload = write_bench_json(
+        out, "smoke_fig2", obs=obs,
+        config={"dataset": "synthetic-peak", "support": SUPPORT},
+    )
+    errors = validate_bench_payload(payload)
+    for counter in ("mining.candidates", "mining.frequent_itemsets",
+                    "discretize.splits_accepted"):
+        if obs.counter(counter) <= 0:
+            errors.append(f"counter {counter} is zero")
+    if not payload["phases"]:
+        errors.append("no phase timings recorded")
+    if errors:
+        failures.append("telemetry")
+        for error in errors:
+            print(f"  telemetry: {error}", file=sys.stderr)
+    print(
+        f"{'telemetry':20s} {out.name}  "
+        f"{'ok' if not errors else 'INVALID'}"
+    )
+
+    if failures:
+        print(f"obs smoke FAILED: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("obs smoke passed: telemetry valid, overhead within budget")
+    return 0
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(obs_main() if "--obs" in sys.argv[1:] else main())

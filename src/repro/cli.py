@@ -12,6 +12,11 @@ Usage examples::
     python -m repro.cli explore data.csv --kind error \\
         --y-true label --y-pred pred --support 0.05 --top 10
 
+    # same, with observability: span trace + metrics registry as JSON
+    python -m repro.cli hexplore data.csv --kind error \\
+        --y-true label --y-pred pred \\
+        --trace trace.json --metrics-out metrics.json
+
     # show the discretization hierarchy of one attribute
     python -m repro.cli discretize data.csv --attribute age \\
         --kind error --y-true label --y-pred pred
@@ -106,7 +111,30 @@ def cmd_generate(args) -> int:
     return 0
 
 
-def _explore_config(args) -> ExploreConfig:
+def _build_obs(args):
+    """An ObsCollector when --trace/--metrics-out asked for one."""
+    if getattr(args, "trace", None) or getattr(args, "metrics_out", None):
+        from repro.obs import ObsCollector
+
+        return ObsCollector()
+    return None
+
+
+def _write_obs(args, obs) -> None:
+    """Write the trace / metrics files requested on the command line."""
+    if obs is None:
+        return
+    from repro.obs import write_metrics, write_trace
+
+    if args.trace:
+        write_trace(obs, args.trace)
+        print(f"wrote span trace to {args.trace}")
+    if args.metrics_out:
+        write_metrics(obs, args.metrics_out)
+        print(f"wrote metrics to {args.metrics_out}")
+
+
+def _explore_config(args, obs=None) -> ExploreConfig:
     """The shared exploration configuration from parsed CLI flags."""
     return ExploreConfig(
         min_support=args.support,
@@ -115,30 +143,11 @@ def _explore_config(args) -> ExploreConfig:
         backend=getattr(args, "backend", "fpgrowth"),
         polarity=getattr(args, "polarity", False),
         n_jobs=getattr(args, "n_jobs", 1),
+        obs=obs,
     )
 
 
-def cmd_explore(args) -> int:
-    table = read_csv(args.csv)
-    outcome = _build_outcome(args)
-    values = outcome.values(table)
-    features = _feature_table(table, args)
-    config = _explore_config(args)
-    if args.base:
-        trees = TreeDiscretizer(
-            args.tree_support, criterion=args.criterion
-        ).fit_all(features, values)
-        explorer = DivExplorer(config)
-        result = explorer.explore(
-            features,
-            values,
-            continuous_items={a: t.leaf_items() for a, t in trees.items()},
-        )
-        mode = "base (leaf items)"
-    else:
-        explorer = HDivExplorer(config)
-        result = explorer.explore(features, values)
-        mode = "hierarchical"
+def _print_result(result, args, mode: str) -> None:
     headline = result.summary()
     print(
         f"{mode} exploration: {headline['n_subgroups']} frequent subgroups, "
@@ -151,6 +160,46 @@ def cmd_explore(args) -> int:
             f"  {row['itemset']}  sup={row['support']:.3f}  "
             f"Δ={row['divergence']:+.3f}  t={t}"
         )
+
+
+def cmd_explore(args) -> int:
+    table = read_csv(args.csv)
+    outcome = _build_outcome(args)
+    values = outcome.values(table)
+    features = _feature_table(table, args)
+    obs = _build_obs(args)
+    config = _explore_config(args, obs=obs)
+    if args.base:
+        trees = TreeDiscretizer(
+            args.tree_support, criterion=args.criterion, obs=obs
+        ).fit_all(features, values)
+        explorer = DivExplorer(config)
+        result = explorer.explore(
+            features,
+            values,
+            continuous_items={a: t.leaf_items() for a, t in trees.items()},
+        )
+        mode = "base (leaf items)"
+    else:
+        explorer = HDivExplorer(config)
+        result = explorer.explore(features, values)
+        mode = "hierarchical"
+    _print_result(result, args, mode)
+    _write_obs(args, obs)
+    return 0
+
+
+def cmd_hexplore(args) -> int:
+    """Hierarchical exploration (explicit spelling of `explore`)."""
+    table = read_csv(args.csv)
+    outcome = _build_outcome(args)
+    values = outcome.values(table)
+    features = _feature_table(table, args)
+    obs = _build_obs(args)
+    explorer = HDivExplorer(_explore_config(args, obs=obs))
+    result = explorer.explore(features, values)
+    _print_result(result, args, "hierarchical")
+    _write_obs(args, obs)
     return 0
 
 
@@ -161,7 +210,12 @@ def cmd_report(args) -> int:
     outcome = _build_outcome(args)
     values = outcome.values(table)
     features = _feature_table(table, args)
-    explorer = HDivExplorer(_explore_config(args))
+    obs = None
+    if args.verbose:
+        from repro.obs import ObsCollector
+
+        obs = ObsCollector()
+    explorer = HDivExplorer(_explore_config(args, obs=obs))
     result = explorer.explore(features, values)
     print(
         exploration_report(
@@ -171,6 +225,7 @@ def cmd_report(args) -> int:
             min_t=args.min_t,
             fdr_alpha=args.fdr_alpha,
             hierarchies=explorer.last_hierarchies_,
+            verbose=args.verbose,
         )
     )
     return 0
@@ -209,35 +264,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int)
     p.set_defaults(fn=cmd_generate)
 
+    def add_explore_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("csv")
+        _add_outcome_flags(p)
+        p.add_argument("--support", type=float, default=0.05)
+        p.add_argument("--tree-support", type=float, default=0.1)
+        p.add_argument(
+            "--criterion",
+            choices=["divergence", "entropy"],
+            default="divergence",
+        )
+        p.add_argument(
+            "--backend", choices=list(BACKENDS), default="fpgrowth",
+            help="mining backend (all return identical subgroups)",
+        )
+        p.add_argument(
+            "--n-jobs", type=int, default=1, dest="n_jobs",
+            help="mining worker processes (1 = serial, <=0 = all cores)",
+        )
+        p.add_argument("--polarity", action="store_true")
+        p.add_argument("--top", type=int, default=10)
+        p.add_argument(
+            "--rank-by",
+            choices=[
+                "abs_divergence", "divergence", "neg_divergence", "support"
+            ],
+            default="abs_divergence",
+        )
+        p.add_argument("--min-t", type=float, default=0.0)
+        p.add_argument(
+            "--trace", metavar="FILE",
+            help="write the hierarchical span trace as JSON",
+        )
+        p.add_argument(
+            "--metrics-out", metavar="FILE", dest="metrics_out",
+            help="write the metrics registry (counters/gauges) as JSON",
+        )
+
     p = sub.add_parser("explore", help="find divergent subgroups in a CSV")
-    p.add_argument("csv")
-    _add_outcome_flags(p)
-    p.add_argument("--support", type=float, default=0.05)
-    p.add_argument("--tree-support", type=float, default=0.1)
-    p.add_argument(
-        "--criterion", choices=["divergence", "entropy"], default="divergence"
-    )
-    p.add_argument(
-        "--backend", choices=list(BACKENDS), default="fpgrowth",
-        help="mining backend (all return identical subgroups)",
-    )
-    p.add_argument(
-        "--n-jobs", type=int, default=1, dest="n_jobs",
-        help="mining worker processes (1 = serial, <=0 = all cores)",
-    )
-    p.add_argument("--polarity", action="store_true")
+    add_explore_flags(p)
     p.add_argument(
         "--base", action="store_true",
         help="non-hierarchical exploration over tree leaves",
     )
-    p.add_argument("--top", type=int, default=10)
-    p.add_argument(
-        "--rank-by",
-        choices=["abs_divergence", "divergence", "neg_divergence", "support"],
-        default="abs_divergence",
-    )
-    p.add_argument("--min-t", type=float, default=0.0)
     p.set_defaults(fn=cmd_explore)
+
+    p = sub.add_parser(
+        "hexplore",
+        help="hierarchical exploration (explicit spelling of `explore`)",
+    )
+    add_explore_flags(p)
+    p.set_defaults(fn=cmd_hexplore)
 
     p = sub.add_parser(
         "report", help="full divergence report for a CSV (hierarchical)"
@@ -252,6 +329,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=5)
     p.add_argument("--min-t", type=float, default=2.0)
     p.add_argument("--fdr-alpha", type=float, default=0.05)
+    p.add_argument(
+        "--verbose", action="store_true",
+        help="append the observability section (phase timings, counters)",
+    )
     p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser(

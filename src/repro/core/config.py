@@ -22,9 +22,10 @@ from __future__ import annotations
 
 import dataclasses
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.mining.transactions import BACKENDS
+from repro.obs.collector import NULL_OBS, AnyCollector
 
 #: Tree-split criteria accepted by the discretizers.
 CRITERIA = ("divergence", "entropy")
@@ -65,6 +66,13 @@ class ExploreConfig:
         shards first-level prefixes across worker processes
         (non-positive = all cores). Results are identical for any
         value.
+    obs:
+        Observability collector (:class:`repro.obs.ObsCollector`)
+        threaded through the whole pipeline — spans, counters and
+        gauges land on it. Defaults to the disabled no-op singleton
+        :data:`repro.obs.NULL_OBS`; never affects results and is
+        excluded from equality, :meth:`to_dict` and
+        :meth:`fingerprint`.
     """
 
     min_support: float = 0.05
@@ -74,8 +82,9 @@ class ExploreConfig:
     polarity: bool = False
     max_length: int | None = None
     n_jobs: int = 1
+    obs: AnyCollector = field(default=NULL_OBS, compare=False, repr=False)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not 0.0 < self.min_support <= 1.0:
             raise ValueError("min_support must be in (0, 1]")
         if not 0.0 < self.tree_support <= 1.0:
@@ -86,10 +95,31 @@ class ExploreConfig:
             raise ValueError(f"unknown mining backend {self.backend!r}")
         if self.max_length is not None and self.max_length < 1:
             raise ValueError("max_length must be positive")
+        if self.obs is None:
+            object.__setattr__(self, "obs", NULL_OBS)
 
     def replace(self, **changes: object) -> "ExploreConfig":
         """A copy with the given fields changed (and re-validated)."""
         return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict[str, object]:
+        """The result-affecting fields as a plain dict.
+
+        The ``obs`` collector is excluded: it never changes results,
+        so two configs that differ only in observability serialize
+        (and fingerprint) identically.
+        """
+        return {
+            f.name: getattr(self, f.name)
+            for f in dataclasses.fields(self)
+            if f.name != "obs"
+        }
+
+    def fingerprint(self) -> str:
+        """Stable short hash of the result-affecting configuration."""
+        from repro.obs.bench import config_fingerprint
+
+        return config_fingerprint(self.to_dict())
 
 
 _FIELD_NAMES = frozenset(f.name for f in dataclasses.fields(ExploreConfig))

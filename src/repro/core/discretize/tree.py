@@ -21,6 +21,7 @@ from repro.core.divergence import OutcomeStats
 from repro.core.hierarchy import HierarchySet, ItemHierarchy
 from repro.core.items import IntervalItem
 from repro.core.outcomes import Outcome
+from repro.obs.collector import AnyCollector, resolve_obs
 from repro.tabular import Table
 
 
@@ -148,6 +149,10 @@ class TreeDiscretizer:
         Apply the Fayyad–Irani MDLP test as an additional stopping rule
         (requires the ``"entropy"`` criterion). Off by default — the
         paper stops on support only.
+    obs:
+        Optional :class:`repro.obs.ObsCollector`; each fitted
+        attribute runs in a ``fit`` span and the thresholds tried and
+        splits accepted are counted, per attribute and in total.
     """
 
     def __init__(
@@ -158,6 +163,7 @@ class TreeDiscretizer:
         max_depth: int | None = None,
         min_gain: float = 0.0,
         mdl_stop: bool = False,
+        obs: AnyCollector | None = None,
     ):
         if not 0.0 < min_support <= 1.0:
             raise ValueError("min_support must be in (0, 1]")
@@ -172,6 +178,7 @@ class TreeDiscretizer:
         self.max_depth = max_depth
         self.min_gain = min_gain
         self.mdl_stop = mdl_stop
+        self.obs = resolve_obs(obs)
 
     # -- public API ---------------------------------------------------------
 
@@ -215,10 +222,17 @@ class TreeDiscretizer:
 
         min_count = max(1, math.ceil(self.min_support * n_total))
         root_item = IntervalItem(attribute)
-        root = self._grow(
-            v, range_stats, 0, v.size, root_item, min_count, n_total, depth=0
-        )
-        return AttributeTree(attribute, root, n_total)
+        with self.obs.span("fit", attribute=attribute) as span:
+            root = self._grow(
+                v, range_stats, 0, v.size, root_item, min_count, n_total,
+                depth=0,
+            )
+            tree = AttributeTree(attribute, root, n_total)
+            if self.obs.enabled:
+                span.set(
+                    nodes=len(tree.nodes()), leaves=len(tree.leaf_items())
+                )
+        return tree
 
     def fit_all(
         self,
@@ -276,7 +290,9 @@ class TreeDiscretizer:
         node = DiscretizationNode(item=item, stats=stats)
         if self.max_depth is not None and depth >= self.max_depth:
             return node
-        split = self._best_split(v, range_stats, i0, i1, min_count, n_total)
+        split = self._best_split(
+            v, range_stats, i0, i1, min_count, n_total, item.attribute
+        )
         if split is None:
             return node
         split_idx, split_value = split
@@ -293,6 +309,9 @@ class TreeDiscretizer:
         right_item = IntervalItem(
             item.attribute, split_value, item.high, False, item.closed_high
         )
+        if self.obs.enabled:
+            self.obs.count("discretize.splits_accepted")
+            self.obs.count(f"discretize.splits_accepted.{item.attribute}")
         node.split_value = split_value
         node.children = (
             self._grow(
@@ -314,6 +333,7 @@ class TreeDiscretizer:
         i1: int,
         min_count: int,
         n_total: int,
+        attribute: str = "",
     ) -> tuple[int, float] | None:
         """Find the gain-maximizing admissible threshold in [i0, i1).
 
@@ -335,6 +355,12 @@ class TreeDiscretizer:
                 0, boundaries.size - 1, self.max_candidates
             ).astype(int)
             boundaries = boundaries[np.unique(picks)]
+        if self.obs.enabled:
+            self.obs.count("discretize.splits_tried", int(boundaries.size))
+            if attribute:
+                self.obs.count(
+                    f"discretize.splits_tried.{attribute}", int(boundaries.size)
+                )
         parent = range_stats(i0, i1)
         best_gain = -math.inf
         best: tuple[int, float] | None = None

@@ -19,6 +19,7 @@ from repro.core.mining.transactions import EncodedUniverse, MinedItemset, mine
 from repro.core.outcomes import Outcome
 from repro.core.polarity import mine_with_polarity
 from repro.core.results import ResultSet, SubgroupResult
+from repro.obs.collector import AnyCollector
 from repro.tabular import Table
 
 
@@ -26,6 +27,7 @@ def results_from_mined(
     universe: EncodedUniverse,
     mined: Iterable[MinedItemset],
     elapsed_seconds: float,
+    obs: AnyCollector | None = None,
 ) -> ResultSet:
     """Convert mined id-itemsets into a ranked :class:`ResultSet`."""
     global_stats = universe.global_stats()
@@ -35,7 +37,7 @@ def results_from_mined(
         )
         for m in mined
     ]
-    return ResultSet(results, global_stats, elapsed_seconds)
+    return ResultSet(results, global_stats, elapsed_seconds, obs=obs)
 
 
 class DivExplorer:
@@ -75,6 +77,7 @@ class DivExplorer:
         self.max_length = cfg.max_length
         self.polarity = cfg.polarity
         self.n_jobs = cfg.n_jobs
+        self.obs = cfg.obs
         self.include_missing_items = include_missing_items
 
     def explore(
@@ -110,21 +113,31 @@ class DivExplorer:
             categorical_attributes,
             extra_items,
             include_missing_items=self.include_missing_items,
+            obs=self.obs,
         )
         return self.explore_universe(universe)
 
     def explore_universe(self, universe: EncodedUniverse) -> ResultSet:
-        """Explore a pre-encoded universe (shared with H-DivExplorer)."""
+        """Explore a pre-encoded universe (shared with H-DivExplorer).
+
+        The wall time lands on ``ResultSet.elapsed_seconds`` whether or
+        not observability is on; with an enabled collector the mining
+        additionally runs inside a ``mine`` span (with the per-backend
+        span nested under it) and the collector travels on the
+        returned :class:`ResultSet`.
+        """
+        obs = self.obs
         start = time.perf_counter()
-        if self.polarity:
-            mined = mine_with_polarity(
-                universe, self.min_support, self.backend, self.max_length,
-                n_jobs=self.n_jobs,
-            )
-        else:
-            mined = mine(
-                universe, self.min_support, self.backend, self.max_length,
-                n_jobs=self.n_jobs,
-            )
+        with obs.span("mine", polarity=self.polarity):
+            if self.polarity:
+                mined = mine_with_polarity(
+                    universe, self.min_support, self.backend, self.max_length,
+                    n_jobs=self.n_jobs, obs=obs,
+                )
+            else:
+                mined = mine(
+                    universe, self.min_support, self.backend, self.max_length,
+                    n_jobs=self.n_jobs, obs=obs,
+                )
         elapsed = time.perf_counter() - start
-        return results_from_mined(universe, mined, elapsed)
+        return results_from_mined(universe, mined, elapsed, obs=obs)

@@ -85,6 +85,7 @@ class HDivExplorer:
         self.polarity = cfg.polarity
         self.max_length = cfg.max_length
         self.n_jobs = cfg.n_jobs
+        self.obs = cfg.obs
         self.max_candidates = max_candidates
         self.max_depth = max_depth
         self.include_missing_items = include_missing_items
@@ -105,6 +106,7 @@ class HDivExplorer:
             criterion=self.criterion,
             max_candidates=self.max_candidates,
             max_depth=self.max_depth,
+            obs=self.obs,
         )
         attrs = list(attributes) if attributes is not None else None
         return discretizer.hierarchy_set(table, outcome, attrs)
@@ -152,28 +154,35 @@ class HDivExplorer:
             continuous_attributes = [
                 a for a in continuous_attributes if a not in gamma
             ]
+        obs = self.obs
+        # The explicit perf_counter pairs stay (the NullCollector's
+        # spans record nothing): last_discretization_seconds_ and
+        # ResultSet.elapsed_seconds must be populated either way.
         start = time.perf_counter()
-        if continuous_attributes:
-            trees = self.discretize(table, outcome, continuous_attributes)
-            for h in trees:
-                gamma.add(h)
+        with obs.span("discretize", attributes=len(continuous_attributes)):
+            if continuous_attributes:
+                trees = self.discretize(table, outcome, continuous_attributes)
+                for h in trees:
+                    gamma.add(h)
         self.last_discretization_seconds_ = time.perf_counter() - start
         self.last_hierarchies_ = gamma
 
         universe = generalized_universe(
             table, outcome, gamma, categorical_attributes,
             include_missing_items=self.include_missing_items,
+            obs=obs,
         )
         start = time.perf_counter()
-        if self.polarity:
-            mined = mine_with_polarity(
-                universe, self.min_support, self.backend, self.max_length,
-                n_jobs=self.n_jobs,
-            )
-        else:
-            mined = mine(
-                universe, self.min_support, self.backend, self.max_length,
-                n_jobs=self.n_jobs,
-            )
+        with obs.span("mine", polarity=self.polarity):
+            if self.polarity:
+                mined = mine_with_polarity(
+                    universe, self.min_support, self.backend, self.max_length,
+                    n_jobs=self.n_jobs, obs=obs,
+                )
+            else:
+                mined = mine(
+                    universe, self.min_support, self.backend, self.max_length,
+                    n_jobs=self.n_jobs, obs=obs,
+                )
         elapsed = time.perf_counter() - start
-        return results_from_mined(universe, mined, elapsed)
+        return results_from_mined(universe, mined, elapsed, obs=obs)

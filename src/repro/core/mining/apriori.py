@@ -17,6 +17,7 @@ import math
 import numpy as np
 
 from repro.core.mining.transactions import EncodedUniverse, MinedItemset
+from repro.obs.collector import AnyCollector, resolve_obs
 
 
 def mine_apriori(
@@ -24,6 +25,7 @@ def mine_apriori(
     min_support: float,
     max_length: int | None = None,
     engine=None,
+    obs: AnyCollector | None = None,
 ) -> list[MinedItemset]:
     """Mine all frequent itemsets levelwise.
 
@@ -37,6 +39,7 @@ BitsetEngine`), candidate masks are packed uint64 covers: the
     """
     if not 0.0 < min_support <= 1.0:
         raise ValueError("min_support must be in (0, 1]")
+    obs = resolve_obs(obs)
     n_rows = universe.n_rows
     min_count = max(1, math.ceil(min_support * n_rows))
     attr = universe.attribute_of
@@ -61,6 +64,10 @@ BitsetEngine`), candidate masks are packed uint64 covers: the
         if count >= min_count:
             frontier.append(((i,), cover))
             results.append(MinedItemset(frozenset((i,)), stats_of(cover)))
+    if obs.enabled:
+        obs.count("mining.candidates", universe.n_items())
+        obs.count("mining.support_pruned", universe.n_items() - len(frontier))
+        obs.count("mining.rows_scanned", universe.n_items() * n_rows)
 
     length = 1
     frequent_prev = {ids for ids, _ in frontier}
@@ -80,9 +87,16 @@ BitsetEngine`), candidate masks are packed uint64 covers: the
                     continue
                 candidate = ids_a + (j,)
                 if not _all_subsets_frequent(candidate, frequent_prev):
+                    if obs.enabled:
+                        obs.count("apriori.subset_pruned")
                     continue
+                if obs.enabled:
+                    obs.count("mining.candidates")
+                    obs.count("mining.rows_scanned", n_rows)
                 cover = cover_a & cover_b
                 if count_of(cover) < min_count:
+                    if obs.enabled:
+                        obs.count("mining.support_pruned")
                     continue
                 next_frontier.append((candidate, cover))
                 next_frequent.add(candidate)

@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.core.divergence import OutcomeStats
 from repro.core.mining.transactions import EncodedUniverse, MinedItemset
+from repro.obs.collector import NULL_OBS, AnyCollector, resolve_obs
 
 _HAVE_BITWISE_COUNT = hasattr(np, "bitwise_count")
 _LUT16: np.ndarray | None = None
@@ -105,6 +106,11 @@ class BitsetEngine:
         The encoded dataset whose item masks to pack.
     cache_size:
         Capacity of the LRU cover cache (number of cached itemsets).
+    obs:
+        Optional :class:`repro.obs.ObsCollector`; per-DFS-step candidate
+        and pruning counters are recorded when enabled. Cover-cache
+        statistics always accumulate on ``cache_hits``/``cache_misses``
+        and are folded into the registry by the mining entry points.
 
     Attributes
     ----------
@@ -117,8 +123,14 @@ class BitsetEngine:
         Cover-cache statistics, for instrumentation and tests.
     """
 
-    def __init__(self, universe: EncodedUniverse, cache_size: int = 1024):
+    def __init__(
+        self,
+        universe: EncodedUniverse,
+        cache_size: int = 1024,
+        obs: AnyCollector | None = None,
+    ):
         self.universe = universe
+        self.obs = resolve_obs(obs)
         self.n_rows = universe.n_rows
         self.item_words = pack_mask(universe.masks)
         self.n_words = self.item_words.shape[1]
@@ -253,6 +265,7 @@ class BitsetEngine:
         """
         ids = sorted(set(item_ids))
         sub = BitsetEngine.__new__(BitsetEngine)
+        sub.obs = self.obs
         sub.universe = self.universe.restricted(ids)
         sub.n_rows = self.n_rows
         sub.item_words = self.item_words[ids]
@@ -370,6 +383,10 @@ class BitsetEngine:
         counts = popcount_rows(covers)
         keep = counts >= min_count
         kept_ids = candidates[keep]
+        if self.obs.enabled:
+            self.obs.count("mining.candidates", len(candidates))
+            self.obs.count("mining.support_pruned", len(candidates) - int(kept_ids.size))
+            self.obs.count("mining.rows_scanned", len(candidates) * self.n_rows)
         if not kept_ids.size:
             return
         kept_covers = covers[keep]

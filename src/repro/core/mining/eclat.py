@@ -15,6 +15,7 @@ import math
 import numpy as np
 
 from repro.core.mining.transactions import EncodedUniverse, MinedItemset
+from repro.obs.collector import AnyCollector, resolve_obs
 
 
 def mine_eclat(
@@ -22,22 +23,28 @@ def mine_eclat(
     min_support: float,
     max_length: int | None = None,
     engine=None,
+    obs: AnyCollector | None = None,
 ) -> list[MinedItemset]:
     """Mine all frequent itemsets depth-first.
 
     With ``engine`` given (a :class:`~repro.core.mining.bitset.\
 BitsetEngine`), tid-sets live as packed uint64 covers and the DFS runs
     batched inside the engine — same itemsets, statistics and emission
-    order as the boolean-mask path below.
+    order as the boolean-mask path below. The mask path counts
+    candidates exactly like the engine's batched DFS (whole sibling
+    batches at once, recursing only into surviving siblings), so the
+    ``mining.*`` counters are identical between the two.
 
     See :func:`repro.core.mining.transactions.mine` for parameters.
     """
     if engine is not None:
         return engine.mine(min_support, max_length)
+    obs = resolve_obs(obs)
     if not 0.0 < min_support <= 1.0:
         raise ValueError("min_support must be in (0, 1]")
     min_count = max(1, math.ceil(min_support * universe.n_rows))
     attr = universe.attribute_of
+    n_rows = universe.n_rows
     results: list[MinedItemset] = []
 
     frequent = [
@@ -45,16 +52,28 @@ BitsetEngine`), tid-sets live as packed uint64 covers and the DFS runs
         for i in range(universe.n_items())
         if int(universe.masks[i].sum()) >= min_count
     ]
+    if obs.enabled:
+        obs.count("mining.candidates", universe.n_items())
+        obs.count("mining.support_pruned", universe.n_items() - len(frequent))
+        obs.count("mining.rows_scanned", universe.n_items() * n_rows)
 
     def extend(
         prefix: tuple[int, ...],
         prefix_mask: np.ndarray,
         candidates: list[tuple[int, np.ndarray]],
     ) -> None:
-        for pos, (i, mask_i) in enumerate(candidates):
+        # Evaluate the whole sibling batch first (mirrors the engine's
+        # batched step); infrequent siblings never reach the recursion.
+        survivors: list[tuple[int, np.ndarray]] = []
+        for i, mask_i in candidates:
             mask = prefix_mask & mask_i if prefix else mask_i
-            if int(mask.sum()) < min_count:
-                continue
+            if int(mask.sum()) >= min_count:
+                survivors.append((i, mask))
+        if prefix and obs.enabled:
+            obs.count("mining.candidates", len(candidates))
+            obs.count("mining.support_pruned", len(candidates) - len(survivors))
+            obs.count("mining.rows_scanned", len(candidates) * n_rows)
+        for pos, (i, mask) in enumerate(survivors):
             itemset = prefix + (i,)
             results.append(
                 MinedItemset(frozenset(itemset), universe.stats_of_mask(mask))
@@ -63,7 +82,7 @@ BitsetEngine`), tid-sets live as packed uint64 covers and the DFS runs
                 continue
             narrowed = [
                 (j, mask_j)
-                for j, mask_j in candidates[pos + 1 :]
+                for j, mask_j in survivors[pos + 1 :]
                 if attr[j] != attr[i]
             ]
             if narrowed:

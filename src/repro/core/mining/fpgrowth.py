@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.core.divergence import OutcomeStats
 from repro.core.mining.transactions import EncodedUniverse, MinedItemset
+from repro.obs.collector import NULL_OBS, AnyCollector, resolve_obs
 
 _ROOT = -1
 
@@ -117,6 +118,7 @@ def mine_fpgrowth(
     min_support: float,
     max_length: int | None = None,
     engine=None,
+    obs: AnyCollector | None = None,
 ) -> list[MinedItemset]:
     """Mine all frequent itemsets with FP-Growth.
 
@@ -129,6 +131,7 @@ BitsetEngine`), the initial frequency scan popcounts packed covers and
     """
     if not 0.0 < min_support <= 1.0:
         raise ValueError("min_support must be in (0, 1]")
+    obs = resolve_obs(obs)
     min_count = max(1, math.ceil(min_support * universe.n_rows))
     if engine is not None:
         counts = engine.item_counts()
@@ -137,6 +140,10 @@ BitsetEngine`), the initial frequency scan popcounts packed covers and
         counts = universe.masks.sum(axis=1)
         transactions = universe.transactions()
     frequent = [i for i in range(universe.n_items()) if counts[i] >= min_count]
+    if obs.enabled:
+        obs.count("mining.candidates", universe.n_items())
+        obs.count("mining.support_pruned", universe.n_items() - len(frequent))
+        obs.count("mining.rows_scanned", universe.n_items() * universe.n_rows)
     if not frequent:
         return []
     # Global ordering: more frequent items closer to the root.
@@ -147,14 +154,18 @@ BitsetEngine`), the initial frequency scan popcounts packed covers and
     frequent_set = set(frequent)
     valid = ~np.isnan(universe.outcomes)
     o = universe.outcomes
+    inserted = 0
     for row, ids in enumerate(transactions):
         items = [i for i in ids if i in frequent_set]
         if not items:
             continue
+        inserted += 1
         if valid[row]:
             tree.insert(items, 1, 1, float(o[row]), float(o[row]) ** 2)
         else:
             tree.insert(items, 1, 0, 0.0, 0.0)
+    if obs.enabled:
+        obs.count("fpgrowth.transactions", inserted)
 
     results: list[MinedItemset] = []
     attr = universe.attribute_of
@@ -166,6 +177,7 @@ BitsetEngine`), the initial frequency scan popcounts packed covers and
         attr=attr,
         results=results,
         max_length=max_length,
+        obs=obs,
     )
     return results
 
@@ -226,6 +238,7 @@ def _mine(
     attr: list[str],
     results: list[MinedItemset],
     max_length: int | None,
+    obs: AnyCollector = NULL_OBS,
 ) -> None:
     path = _single_path(tree)
     if path is not None:
@@ -255,6 +268,8 @@ def _mine(
         keep = {p for p, c in cond_counts.items() if c >= min_count}
         if not keep:
             continue
+        if obs.enabled:
+            obs.count("fpgrowth.conditional_trees")
         cond_tree = _Tree(tree.rank)
         for path, node in paths:
             filtered = [p for p in path if p in keep]
@@ -271,4 +286,5 @@ def _mine(
             attr,
             results,
             max_length,
+            obs=obs,
         )

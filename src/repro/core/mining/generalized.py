@@ -18,6 +18,7 @@ from repro.core.hierarchy import HierarchySet
 from repro.core.items import CategoricalItem, Item, MissingItem
 from repro.core.mining.transactions import EncodedUniverse
 from repro.core.outcomes import Outcome
+from repro.obs.collector import AnyCollector, resolve_obs
 from repro.tabular import Table
 
 
@@ -45,6 +46,7 @@ def base_universe(
     categorical_attributes: Iterable[str] | None = None,
     extra_items: Iterable[Item] = (),
     include_missing_items: bool = False,
+    obs: AnyCollector | None = None,
 ) -> EncodedUniverse:
     """Build the flat item universe used by non-hierarchical methods.
 
@@ -65,7 +67,11 @@ def base_universe(
     include_missing_items:
         Add an ``A = ⊥`` item for every included attribute with
         missing values, so missingness itself can form subgroups.
+    obs:
+        Optional collector; the mask evaluation runs in an ``encode``
+        span and the universe shape is recorded as gauges.
     """
+    obs = resolve_obs(obs)
     items: list[Item] = []
     covered: list[str] = []
     for attribute, attr_items in continuous_items.items():
@@ -79,7 +85,10 @@ def base_universe(
     if include_missing_items:
         items.extend(missing_items(table, covered))
     items.extend(extra_items)
-    return EncodedUniverse.from_table(table, items, outcome)
+    with obs.span("encode", kind="base") as span:
+        universe = EncodedUniverse.from_table(table, items, outcome)
+    _record_universe(obs, span, universe)
+    return universe
 
 
 def generalized_universe(
@@ -89,6 +98,7 @@ def generalized_universe(
     categorical_attributes: Iterable[str] | None = None,
     extra_items: Iterable[Item] = (),
     include_missing_items: bool = False,
+    obs: AnyCollector | None = None,
 ) -> EncodedUniverse:
     """Build the generalized item universe over hierarchies.
 
@@ -96,9 +106,13 @@ def generalized_universe(
     Categorical attributes without a hierarchy contribute their flat
     value items, exactly as in the base universe. With
     ``include_missing_items``, an ``A = ⊥`` item is added for every
-    covered attribute that has missing values.
+    covered attribute that has missing values. With ``obs`` enabled,
+    the mask evaluation runs in an ``encode`` span and the universe
+    shape (items, hierarchy items, rows) is recorded as gauges.
     """
+    obs = resolve_obs(obs)
     items: list[Item] = list(hierarchies.all_items(include_roots=False))
+    n_hierarchy_items = len(items)
     if categorical_attributes is None:
         categorical_attributes = [
             a for a in table.categorical_names if a not in hierarchies
@@ -113,4 +127,17 @@ def generalized_universe(
         covered = list(hierarchies.attributes) + list(categorical_attributes)
         items.extend(missing_items(table, covered))
     items.extend(extra_items)
-    return EncodedUniverse.from_table(table, items, outcome)
+    with obs.span("encode", kind="generalized") as span:
+        universe = EncodedUniverse.from_table(table, items, outcome)
+    if obs.enabled:
+        obs.gauge("universe.hierarchy_items", n_hierarchy_items)
+    _record_universe(obs, span, universe)
+    return universe
+
+
+def _record_universe(obs: AnyCollector, span, universe: EncodedUniverse) -> None:
+    if not obs.enabled:
+        return
+    obs.gauge("universe.items", universe.n_items())
+    obs.gauge("universe.rows", universe.n_rows)
+    span.set(items=universe.n_items(), rows=universe.n_rows)

@@ -23,6 +23,7 @@ import multiprocessing
 
 from repro.core.mining.bitset import BitsetEngine, raw_to_mined
 from repro.core.mining.transactions import EncodedUniverse, MinedItemset
+from repro.obs.collector import NULL_OBS, AnyCollector, ObsCollector, resolve_obs
 
 _WORKER_ENGINE: BitsetEngine | None = None
 
@@ -33,8 +34,25 @@ def _init_worker(engine: BitsetEngine) -> None:
 
 
 def _mine_shard(task):
-    root, tail, min_support, max_length = task
-    return _WORKER_ENGINE.mine_subtree(root, tail, min_support, max_length)
+    """Mine one prefix shard; returns ``(raw results, counter dict | None)``.
+
+    When the parent collects metrics, the shard mines against a private
+    per-task collector and ships its counters back as a plain dict —
+    workers never share a collector, which keeps the fan-out fork-safe
+    and makes the parent's merged totals equal the serial totals.
+    """
+    root, tail, min_support, max_length, collect = task
+    engine = _WORKER_ENGINE
+    if not collect:
+        return engine.mine_subtree(root, tail, min_support, max_length), None
+    shard_obs = ObsCollector()
+    prev = engine.obs
+    engine.obs = shard_obs
+    try:
+        raw = engine.mine_subtree(root, tail, min_support, max_length)
+    finally:
+        engine.obs = prev
+    return raw, dict(shard_obs.counters)
 
 
 def resolve_n_jobs(n_jobs: int | None) -> int:
@@ -73,6 +91,7 @@ def mine_parallel(
     max_length: int | None = None,
     n_jobs: int = 2,
     engine: BitsetEngine | None = None,
+    obs: AnyCollector | None = None,
 ) -> list[MinedItemset]:
     """Mine all frequent itemsets with sharded worker processes.
 
@@ -80,28 +99,50 @@ def mine_parallel(
     bitset backend (:func:`repro.core.mining.bitset.mine_bitset`), for
     any ``n_jobs``. Falls back to the serial path when ``n_jobs`` is 1
     or the universe has at most one shard.
+
+    When ``obs`` is enabled, the level-1 scan is counted here (once —
+    the workers do not re-count their shard roots) and each worker
+    returns its private counter dict for the parent to merge, so the
+    merged ``mining.*`` totals are identical to a serial run.
     """
+    obs = resolve_obs(obs)
     n_jobs = resolve_n_jobs(n_jobs)
     if engine is None:
-        engine = BitsetEngine(universe)
+        engine = BitsetEngine(universe, obs=obs)
     if n_jobs == 1:
         return engine.mine(min_support, max_length)
     shards = prefix_shards(engine, min_support)
     if len(shards) <= 1:
         return engine.mine(min_support, max_length)
 
-    tasks = [(root, tail, min_support, max_length) for root, tail in shards]
+    if obs.enabled:
+        # The level-1 scan, counted exactly as the serial DFS would.
+        obs.count("mining.candidates", universe.n_items())
+        obs.count("mining.support_pruned", universe.n_items() - len(shards))
+        obs.count("mining.rows_scanned", universe.n_items() * universe.n_rows)
+        obs.gauge("mining.shards", len(shards))
+    collect = obs.enabled
+    tasks = [
+        (root, tail, min_support, max_length, collect) for root, tail in shards
+    ]
     ctx = _pool_context()
     engine.clear_cache()  # ship a lean engine to the workers
-    with ctx.Pool(
-        processes=min(n_jobs, len(tasks)),
-        initializer=_init_worker,
-        initargs=(engine,),
-    ) as pool:
-        per_shard = list(pool.imap(_mine_shard, tasks, chunksize=1))
+    prev_obs = engine.obs
+    engine.obs = NULL_OBS  # collectors stay parent-side; workers bring their own
+    try:
+        with ctx.Pool(
+            processes=min(n_jobs, len(tasks)),
+            initializer=_init_worker,
+            initargs=(engine,),
+        ) as pool:
+            per_shard = list(pool.imap(_mine_shard, tasks, chunksize=1))
+    finally:
+        engine.obs = prev_obs
     results: list[MinedItemset] = []
-    for raw in per_shard:
+    for raw, counters in per_shard:
         results.extend(raw_to_mined(raw))
+        if counters:
+            obs.merge_counters(counters)
     return results
 
 

@@ -10,6 +10,7 @@ import numpy as np
 from repro.core.divergence import OutcomeStats
 from repro.core.items import Item, Itemset
 from repro.core.outcomes import Outcome
+from repro.obs.collector import AnyCollector, resolve_obs
 from repro.tabular import Table
 
 
@@ -151,6 +152,7 @@ def mine(
     max_length: int | None = None,
     n_jobs: int = 1,
     engine=None,
+    obs: AnyCollector | None = None,
 ) -> list[MinedItemset]:
     """Mine all frequent itemsets with the chosen backend.
 
@@ -173,27 +175,81 @@ def mine(
     engine:
         Optional :class:`repro.core.mining.bitset.BitsetEngine` to
         reuse (packed covers + cover cache) instead of building one.
+    obs:
+        Optional :class:`repro.obs.ObsCollector`. When enabled, the
+        dispatch runs inside a span named after the backend and the
+        registry receives the per-backend mining counters, the cover-
+        cache deltas of ``engine``, and the backend-independent
+        ``mining.frequent_itemsets`` / ``mining.frequent.level_N``
+        totals (counted here from the mined list, so they are
+        identical for every backend and every ``n_jobs``).
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown mining backend {backend!r}")
-    if n_jobs != 1:
-        from repro.core.mining.parallel import mine_parallel
+    obs = resolve_obs(obs)
+    hits0 = engine.cache_hits if engine is not None else 0
+    misses0 = engine.cache_misses if engine is not None else 0
+    restore_engine_obs = False
+    prev_engine_obs = None
+    if obs.enabled and engine is not None:
+        prev_engine_obs = engine.obs
+        restore_engine_obs = True
+        engine.obs = obs
+    span = obs.span(backend, n_jobs=n_jobs, min_support=min_support)
+    try:
+        with span:
+            if n_jobs != 1:
+                from repro.core.mining.parallel import mine_parallel
 
-        return mine_parallel(
-            universe, min_support, max_length, n_jobs=n_jobs, engine=engine
-        )
-    if backend == "fpgrowth":
-        from repro.core.mining.fpgrowth import mine_fpgrowth
+                mined = mine_parallel(
+                    universe, min_support, max_length,
+                    n_jobs=n_jobs, engine=engine, obs=obs,
+                )
+            elif backend == "fpgrowth":
+                from repro.core.mining.fpgrowth import mine_fpgrowth
 
-        return mine_fpgrowth(universe, min_support, max_length, engine=engine)
-    if backend == "apriori":
-        from repro.core.mining.apriori import mine_apriori
+                mined = mine_fpgrowth(
+                    universe, min_support, max_length, engine=engine, obs=obs
+                )
+            elif backend == "apriori":
+                from repro.core.mining.apriori import mine_apriori
 
-        return mine_apriori(universe, min_support, max_length, engine=engine)
-    if backend == "eclat":
-        from repro.core.mining.eclat import mine_eclat
+                mined = mine_apriori(
+                    universe, min_support, max_length, engine=engine, obs=obs
+                )
+            elif backend == "eclat":
+                from repro.core.mining.eclat import mine_eclat
 
-        return mine_eclat(universe, min_support, max_length, engine=engine)
-    from repro.core.mining.bitset import mine_bitset
+                mined = mine_eclat(
+                    universe, min_support, max_length, engine=engine, obs=obs
+                )
+            else:
+                from repro.core.mining.bitset import BitsetEngine, mine_bitset
 
-    return mine_bitset(universe, min_support, max_length, engine=engine)
+                if engine is None and obs.enabled:
+                    engine = BitsetEngine(universe, obs=obs)
+                mined = mine_bitset(universe, min_support, max_length, engine=engine)
+    finally:
+        if restore_engine_obs:
+            engine.obs = prev_engine_obs
+    if obs.enabled:
+        if engine is not None:
+            # mine_parallel clears the engine cache before shipping it to
+            # workers; a shrunken counter means "count everything since".
+            dh = engine.cache_hits - hits0
+            dm = engine.cache_misses - misses0
+            dh = dh if dh >= 0 else engine.cache_hits
+            dm = dm if dm >= 0 else engine.cache_misses
+            if dh:
+                obs.count("cover_cache.hits", dh)
+            if dm:
+                obs.count("cover_cache.misses", dm)
+        obs.count("mining.frequent_itemsets", len(mined))
+        levels: dict[int, int] = {}
+        for m in mined:
+            k = len(m.ids)
+            levels[k] = levels.get(k, 0) + 1
+        for k in sorted(levels):
+            obs.count(f"mining.frequent.level_{k}", levels[k])
+        span.set(itemsets=len(mined))
+    return mined

@@ -18,6 +18,7 @@ from typing import Iterable
 
 from repro.core.items import IntervalItem
 from repro.core.mining.transactions import EncodedUniverse, MinedItemset, mine
+from repro.obs.collector import AnyCollector, resolve_obs
 
 
 def item_polarities(
@@ -68,6 +69,7 @@ def mine_with_polarity(
     polarize_attributes: Iterable[str] | None = None,
     n_jobs: int = 1,
     engine=None,
+    obs: AnyCollector | None = None,
 ) -> list[MinedItemset]:
     """Mine the positive and negative polarity subspaces and merge.
 
@@ -77,27 +79,45 @@ def mine_with_polarity(
     forwarded to :func:`repro.core.mining.transactions.mine`; with an
     engine (or the bitset backend, or parallel mining) both subspace
     runs slice one set of packed covers instead of re-packing.
+
+    With ``obs`` enabled, each subspace mines inside a
+    ``polarity.positive`` / ``polarity.negative`` span and the registry
+    records the item split (``polarity.positive_items`` etc.) and how
+    many all-neutral itemsets the merge deduplicated.
     """
+    obs = resolve_obs(obs)
     polarities = item_polarities(universe, polarize_attributes)
     positive_ids = [i for i, p in enumerate(polarities) if p >= 0]
     negative_ids = [i for i, p in enumerate(polarities) if p <= 0]
+    if obs.enabled:
+        obs.count("polarity.positive_items", sum(1 for p in polarities if p > 0))
+        obs.count("polarity.negative_items", sum(1 for p in polarities if p < 0))
+        obs.count("polarity.neutral_items", sum(1 for p in polarities if p == 0))
 
     if engine is None and (backend == "bitset" or n_jobs != 1):
         from repro.core.mining.bitset import BitsetEngine
 
-        engine = BitsetEngine(universe)
+        engine = BitsetEngine(universe, obs=obs)
 
     seen: dict[frozenset[int], MinedItemset] = {}
-    for ids in (positive_ids, negative_ids):
+    for sign, ids in (("positive", positive_ids), ("negative", negative_ids)):
         if not ids:
             continue
-        sub = universe.restricted(ids)
-        sub_engine = engine.restricted(ids) if engine is not None else None
-        back = {sub.index[universe.items[i]]: i for i in ids}
-        for found in mine(
-            sub, min_support, backend, max_length, n_jobs=n_jobs,
-            engine=sub_engine,
-        ):
-            original = frozenset(back[j] for j in found.ids)
-            seen.setdefault(original, MinedItemset(original, found.stats))
+        with obs.span(f"polarity.{sign}", items=len(ids)) as sub_span:
+            sub = universe.restricted(ids)
+            sub_engine = engine.restricted(ids) if engine is not None else None
+            back = {sub.index[universe.items[i]]: i for i in ids}
+            merged = 0
+            for found in mine(
+                sub, min_support, backend, max_length, n_jobs=n_jobs,
+                engine=sub_engine, obs=obs,
+            ):
+                original = frozenset(back[j] for j in found.ids)
+                if original in seen:
+                    merged += 1
+                else:
+                    seen[original] = MinedItemset(original, found.stats)
+            if obs.enabled:
+                obs.count("polarity.duplicates_merged", merged)
+                sub_span.set(duplicates_merged=merged)
     return list(seen.values())

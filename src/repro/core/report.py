@@ -35,6 +35,7 @@ def exploration_report(
     redundancy_epsilon: float | None = None,
     hierarchies: HierarchySet | None = None,
     scale: float = 1.0,
+    verbose: bool = False,
 ) -> str:
     """Render a text report of an exploration's findings.
 
@@ -58,6 +59,10 @@ def exploration_report(
     scale:
         Divide displayed statistic values by this (e.g. 1000 to print
         incomes in thousands).
+    verbose:
+        Append the observability section — per-phase wall times, the
+        cover-cache hit rate and pruning counters — when the
+        exploration ran with an enabled collector.
     """
     if k < 1:
         raise ValueError("k must be positive")
@@ -105,4 +110,34 @@ def exploration_report(
         for hierarchy in hierarchies:
             lines.append("")
             lines.append(hierarchy.render())
+
+    if verbose:
+        lines.append("")
+        lines.extend(_obs_lines(result))
     return "\n".join(lines)
+
+
+def _obs_lines(result: ResultSet) -> list[str]:
+    """The verbose observability section of the report."""
+    if not result.obs.enabled:
+        return ["observability: (disabled — run with an ObsCollector)"]
+    from repro.obs.report import obs_summary
+
+    s = obs_summary(result.obs)
+    lines = ["observability:"]
+    if s["phases"]:
+        lines.append("  phase wall times:")
+        for phase, seconds in s["phases"].items():
+            lines.append(f"    {phase:<32s} {seconds * 1e3:10.2f} ms")
+    rate = s["cache_hit_rate"]
+    lines.append(
+        "  cover-cache hit rate: "
+        + (f"{rate:.1%}" if rate is not None else "(cache untouched)")
+    )
+    lines.append(f"  candidates evaluated: {s['candidates']}")
+    lines.append(f"  frequent itemsets:    {s['frequent_itemsets']}")
+    if s["pruning"]:
+        lines.append("  pruning:")
+        for name, value in s["pruning"].items():
+            lines.append(f"    {name:<32s} {value}")
+    return lines

@@ -8,6 +8,7 @@ from typing import Callable, Iterable, Iterator
 
 from repro.core.divergence import OutcomeStats, welch_t
 from repro.core.items import Itemset
+from repro.obs.collector import AnyCollector, resolve_obs
 
 
 @dataclass(frozen=True)
@@ -76,6 +77,10 @@ class ResultSet:
         Whole-dataset outcome statistics (f(D) is ``global_stats.mean``).
     elapsed_seconds:
         Wall-clock exploration time, for the performance figures.
+    obs:
+        The observability collector of the producing exploration (the
+        disabled singleton when observability was off). Lets
+        :meth:`summary` surface phase timings and mining counters.
     """
 
     def __init__(
@@ -83,10 +88,12 @@ class ResultSet:
         results: Iterable[SubgroupResult],
         global_stats: OutcomeStats,
         elapsed_seconds: float = 0.0,
+        obs: AnyCollector | None = None,
     ) -> None:
         self.results = list(results)
         self.global_stats = global_stats
         self.elapsed_seconds = elapsed_seconds
+        self.obs = resolve_obs(obs)
 
     def __len__(self) -> int:
         return len(self.results)
@@ -165,6 +172,7 @@ class ResultSet:
             [r for r in self.results if predicate(r)],
             self.global_stats,
             self.elapsed_seconds,
+            obs=self.obs,
         )
 
     def at_support(self, min_support: float) -> "ResultSet":
@@ -192,24 +200,33 @@ class ResultSet:
             seen.values(),
             self.global_stats,
             self.elapsed_seconds + other.elapsed_seconds,
+            obs=self.obs if self.obs.enabled else other.obs,
         )
 
     # -- formatting --------------------------------------------------------
 
-    def summary(self) -> dict[str, float | int]:
+    def summary(self) -> dict[str, object]:
         """Headline numbers of the exploration, as a plain dict.
 
         The canonical scalar surface for reports, the CLI and the
         experiment harness: number of explored subgroups, the dataset
         statistic f(D), the maximum |Δ| found, and the wall-clock
-        exploration time.
+        exploration time. When the exploration ran with an enabled
+        observability collector, an ``obs`` section is appended with
+        per-phase elapsed times, the cover-cache hit rate and the
+        pruning counters (see :func:`repro.obs.obs_summary`).
         """
-        return {
+        out: dict[str, object] = {
             "n_subgroups": len(self.results),
             "global_mean": self.global_mean,
             "max_abs_divergence": self.max_divergence(),
             "elapsed_seconds": self.elapsed_seconds,
         }
+        if self.obs.enabled:
+            from repro.obs.report import obs_summary
+
+            out["obs"] = obs_summary(self.obs)
+        return out
 
     def to_rows(
         self,

@@ -1,4 +1,4 @@
-"""The reprolint rule catalogue (RPL001–RPL012).
+"""The reprolint rule catalogue (RPL001–RPL013).
 
 Each rule encodes one invariant the reproduction depends on —
 determinism across backends and ``n_jobs``, independence from the
@@ -51,6 +51,14 @@ LEGACY_KWARGS = {"support", "st", "max_level"}
 TYPED_PUBLIC_MODULES = (
     "src/repro/core/config.py",
     "src/repro/core/results.py",
+)
+
+#: Library modules whose *contract* is user-facing terminal output:
+#: the CLI entry points and the lint report renderer.
+PRINT_ALLOWED_MODULES = (
+    "src/repro/cli.py",
+    "src/repro/devtools/lint.py",
+    "src/repro/experiments/paper.py",
 )
 
 _FLOAT_SENSITIVE = re.compile(r"(divergence|criteria|significance|polarity)")
@@ -487,6 +495,35 @@ def _warns_deprecation(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
                 ):
                     return True
     return False
+
+
+@register
+class PrintInLibraryRule(Rule):
+    code = "RPL013"
+    name = "print-in-library"
+    severity = Severity.ERROR
+    rationale = (
+        "Library code must not write to stdout: callers embed the "
+        "explorers in pipelines whose stdout is data. Diagnostics "
+        "belong in the repro.obs collector (spans/counters) or in "
+        "return values; only the CLI and report renderers print."
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return _in_library(path) and path not in PRINT_ALLOWED_MODULES
+
+    def check(self, ctx: ModuleContext) -> Iterator[tuple[ast.AST, str]]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield node, (
+                    "print() in library code: route diagnostics through "
+                    "an ObsCollector (or return them) — stdout belongs "
+                    "to the caller"
+                )
 
 
 @register

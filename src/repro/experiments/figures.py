@@ -26,6 +26,7 @@ from repro.experiments.harness import (
     run_manual,
     run_quantile_base,
 )
+from repro.obs.collector import AnyCollector, resolve_obs
 
 #: Datasets of the Figure 2 / 3b / 4 sweeps (paper order).
 FIGURE2_DATASETS = (
@@ -188,14 +189,24 @@ def figure2(
     supports: Sequence[float] = DEFAULT_SUPPORTS,
     tree_support: float = 0.1,
     contexts: dict[str, ExperimentContext] | None = None,
+    obs: AnyCollector | None = None,
 ):
-    """Per dataset and support: max |Δ| and time for base vs hier."""
+    """Per dataset and support: max |Δ| and time for base vs hier.
+
+    With an enabled ``obs`` collector every (dataset, support) cell
+    runs inside a ``figure2.<dataset>`` span, with the explorer's own
+    ``discretize``/``mine`` spans nested beneath it.
+    """
+    obs = resolve_obs(obs)
     rows = []
     for name in datasets:
         ctx = (contexts or {}).get(name) or load_context(name)
         for s in supports:
-            base = run_base(ctx, s, tree_support).summary()
-            hier = run_hierarchical(ctx, s, tree_support).summary()
+            with obs.span(f"figure2.{name}", support=s):
+                base = run_base(ctx, s, tree_support, obs=obs).summary()
+                hier = run_hierarchical(
+                    ctx, s, tree_support, obs=obs
+                ).summary()
             rows.append(
                 (
                     name, s,

@@ -22,6 +22,7 @@ from repro.core.items import Item
 from repro.core.results import ResultSet
 from repro.datasets import compas_manual_items, load_dataset
 from repro.datasets.base import Dataset
+from repro.obs.collector import AnyCollector
 from repro.tabular import Table
 
 #: Row counts used by the benchmark harness. The paper runs full-size
@@ -98,11 +99,12 @@ def run_base(
     backend: str = "fpgrowth",
     max_length: int | None = None,
     n_jobs: int = 1,
+    obs: AnyCollector | None = None,
 ) -> ResultSet:
     """Base exploration over tree-discretization *leaf* items."""
     config = ExploreConfig(
         min_support=support, tree_support=tree_support, criterion=criterion,
-        backend=backend, max_length=max_length, n_jobs=n_jobs,
+        backend=backend, max_length=max_length, n_jobs=n_jobs, obs=obs,
     )
     explorer = DivExplorer(config)
     return explorer.explore(
@@ -121,6 +123,7 @@ def run_hierarchical(
     polarity: bool = False,
     max_length: int | None = None,
     n_jobs: int = 1,
+    obs: AnyCollector | None = None,
 ) -> ResultSet:
     """Generalized (hierarchical) exploration, the H-DivExplorer path.
 
@@ -130,7 +133,7 @@ def run_hierarchical(
     config = ExploreConfig(
         min_support=support, tree_support=tree_support, criterion=criterion,
         backend=backend, polarity=polarity, max_length=max_length,
-        n_jobs=n_jobs,
+        n_jobs=n_jobs, obs=obs,
     )
     explorer = HDivExplorer(config)
     return explorer.explore(
@@ -145,12 +148,13 @@ def run_manual(
     support: float,
     backend: str = "fpgrowth",
     max_length: int | None = None,
+    obs: AnyCollector | None = None,
 ) -> ResultSet:
     """Base exploration over the manual discretization (compas only)."""
     if ctx.name != "compas":
         raise ValueError("a manual discretization exists only for compas")
     explorer = DivExplorer(ExploreConfig(
-        min_support=support, backend=backend, max_length=max_length,
+        min_support=support, backend=backend, max_length=max_length, obs=obs,
     ))
     return explorer.explore(
         ctx.features, ctx.outcomes, continuous_items=compas_manual_items()
@@ -162,6 +166,7 @@ def run_quantile_base(
     support: float,
     n_bins: int,
     backend: str = "fpgrowth",
+    obs: AnyCollector | None = None,
 ) -> ResultSet:
     """Base exploration over quantile bins (Figure 7 baseline)."""
     from repro.core.discretize import quantile_items
@@ -170,5 +175,7 @@ def run_quantile_base(
         a: quantile_items(ctx.features, a, n_bins)
         for a in ctx.features.continuous_names
     }
-    explorer = DivExplorer(ExploreConfig(min_support=support, backend=backend))
+    explorer = DivExplorer(ExploreConfig(
+        min_support=support, backend=backend, obs=obs,
+    ))
     return explorer.explore(ctx.features, ctx.outcomes, continuous_items=items)

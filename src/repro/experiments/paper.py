@@ -10,12 +10,12 @@ shape-asserting reproduction; this runner is for interactive use.
 from __future__ import annotations
 
 import argparse
-import time
 from pathlib import Path
 
 from repro.experiments import figures as F
 from repro.experiments.harness import load_context
 from repro.experiments.tables import render_table
+from repro.obs import ObsCollector, write_trace
 
 
 def _artifacts(fast: bool):
@@ -107,18 +107,25 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--only", nargs="*", help="artifact names to run (default: all)"
     )
+    parser.add_argument(
+        "--trace", type=Path,
+        help="write a span trace (one span per artifact) as JSON",
+    )
     args = parser.parse_args(argv)
     if args.out:
         args.out.mkdir(parents=True, exist_ok=True)
+    obs = ObsCollector()
     for name, build in _artifacts(args.fast):
         if args.only and name not in args.only:
             continue
-        start = time.perf_counter()
-        text = build()
-        elapsed = time.perf_counter() - start
-        print(f"\n{'=' * 72}\n{text}\n[{name}: {elapsed:.1f}s]")
+        with obs.span(f"artifact.{name}") as span:
+            text = build()
+        print(f"\n{'=' * 72}\n{text}\n[{name}: {span.elapsed_seconds:.1f}s]")
         if args.out:
             (args.out / f"{name}.txt").write_text(text + "\n")
+    if args.trace:
+        write_trace(obs, args.trace)
+        print(f"\nwrote span trace to {args.trace}")
     return 0
 
 

@@ -1,0 +1,62 @@
+"""repro.obs — hierarchical spans, metrics, and benchmark telemetry.
+
+The observability layer for the whole pipeline. Create an
+:class:`ObsCollector`, pass it via ``ExploreConfig(obs=...)`` (or the
+``obs=`` keyword of any explorer / mining entry point), and read back a
+span tree plus a counter/gauge registry. When no collector is supplied
+everything defaults to the :data:`NULL_OBS` no-op singleton, which
+keeps the hot paths effectively free and the outputs bit-identical.
+
+See ``docs/OBSERVABILITY.md`` for the span/metric inventory and the
+JSON schemas of trace, metrics, and ``BENCH_*.json`` files.
+"""
+
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    bench_payload,
+    config_fingerprint,
+    validate_bench_payload,
+    write_bench_json,
+)
+from repro.obs.collector import (
+    NULL_OBS,
+    AnyCollector,
+    NullCollector,
+    ObsCollector,
+    Span,
+    resolve_obs,
+)
+from repro.obs.report import (
+    METRICS_SCHEMA,
+    TRACE_SCHEMA,
+    cache_hit_rate,
+    metrics_payload,
+    obs_summary,
+    render_text,
+    trace_payload,
+    write_metrics,
+    write_trace,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "METRICS_SCHEMA",
+    "NULL_OBS",
+    "TRACE_SCHEMA",
+    "AnyCollector",
+    "NullCollector",
+    "ObsCollector",
+    "Span",
+    "bench_payload",
+    "cache_hit_rate",
+    "config_fingerprint",
+    "metrics_payload",
+    "obs_summary",
+    "render_text",
+    "resolve_obs",
+    "trace_payload",
+    "validate_bench_payload",
+    "write_bench_json",
+    "write_metrics",
+    "write_trace",
+]

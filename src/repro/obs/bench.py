@@ -1,0 +1,137 @@
+"""Canonical ``BENCH_*.json`` telemetry for the benchmark harness.
+
+Every benchmark that writes a human-readable ``benchmark_results/*.txt``
+also writes a machine-readable sibling ``BENCH_<name>.json`` so future
+revisions have a perf trajectory to diff against. The payload shape:
+
+```
+{
+  "schema": "repro.obs/bench@1",
+  "name": "fig2_divergence_time",
+  "config": {...},            # ExploreConfig.to_dict() or any mapping
+  "config_fingerprint": "…",  # stable hash of the config section
+  "phases": {"explore.mine": 0.123, ...},
+  "counters": {...},
+  "gauges": {...},
+  "trace": [...],             # nested span forest (trace-file schema)
+  "extra": {...},             # benchmark-specific numbers (optional)
+}
+```
+
+:func:`validate_bench_payload` is the schema check used by
+``benchmarks/smoke.py`` and the tier-1 obs tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.obs.collector import NULL_OBS, AnyCollector
+
+BENCH_SCHEMA = "repro.obs/bench@1"
+
+
+def config_fingerprint(config: Mapping[str, Any]) -> str:
+    """Stable short hash of a config mapping (sorted-key JSON, sha256)."""
+    blob = json.dumps(config, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def bench_payload(
+    name: str,
+    obs: AnyCollector = NULL_OBS,
+    config: Mapping[str, Any] | None = None,
+    extra: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Assemble the BENCH json payload from a collector snapshot."""
+    metrics = obs.metrics_dict()
+    cfg = dict(config) if config else {}
+    payload: dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "name": name,
+        "config": cfg,
+        "config_fingerprint": config_fingerprint(cfg),
+        "phases": obs.phase_seconds(),
+        "counters": metrics["counters"],
+        "gauges": metrics["gauges"],
+        "trace": obs.trace_dict(),
+    }
+    if extra:
+        payload["extra"] = dict(extra)
+    return payload
+
+
+def write_bench_json(
+    path: str | Path,
+    name: str,
+    obs: AnyCollector = NULL_OBS,
+    config: Mapping[str, Any] | None = None,
+    extra: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Write ``BENCH_<name>.json`` and return the payload."""
+    payload = bench_payload(name, obs=obs, config=config, extra=extra)
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return payload
+
+
+def validate_bench_payload(payload: Mapping[str, Any]) -> list[str]:
+    """Schema-check a BENCH payload; returns a list of problems (empty = valid)."""
+    problems: list[str] = []
+    if payload.get("schema") != BENCH_SCHEMA:
+        problems.append(f"schema != {BENCH_SCHEMA!r}: {payload.get('schema')!r}")
+    if not isinstance(payload.get("name"), str) or not payload.get("name"):
+        problems.append("name missing or empty")
+    for key, typ in (
+        ("config", dict),
+        ("phases", dict),
+        ("counters", dict),
+        ("gauges", dict),
+        ("trace", list),
+    ):
+        if not isinstance(payload.get(key), typ):
+            problems.append(f"{key} missing or not a {typ.__name__}")
+    fp = payload.get("config_fingerprint")
+    if not isinstance(fp, str) or len(fp) != 16:
+        problems.append("config_fingerprint missing or malformed")
+    elif isinstance(payload.get("config"), dict):
+        if fp != config_fingerprint(payload["config"]):
+            problems.append("config_fingerprint does not match config")
+    counters = payload.get("counters")
+    if isinstance(counters, dict):
+        bad = [k for k, v in counters.items() if not isinstance(v, int)]
+        if bad:
+            problems.append(f"non-integer counters: {sorted(bad)}")
+    phases = payload.get("phases")
+    if isinstance(phases, dict):
+        bad = [k for k, v in phases.items() if not isinstance(v, (int, float)) or v < 0]
+        if bad:
+            problems.append(f"negative or non-numeric phases: {sorted(bad)}")
+    trace = payload.get("trace")
+    if isinstance(trace, list):
+        problems.extend(_validate_spans(trace, "trace"))
+    return problems
+
+
+def _validate_spans(spans: list[Any], where: str) -> list[str]:
+    problems: list[str] = []
+    for i, span in enumerate(spans):
+        loc = f"{where}[{i}]"
+        if not isinstance(span, dict):
+            problems.append(f"{loc} is not an object")
+            continue
+        if not isinstance(span.get("name"), str) or not span.get("name"):
+            problems.append(f"{loc}.name missing")
+        elapsed = span.get("elapsed_seconds")
+        if not isinstance(elapsed, (int, float)) or elapsed < 0:
+            problems.append(f"{loc}.elapsed_seconds missing or negative")
+        children = span.get("children", [])
+        if not isinstance(children, list):
+            problems.append(f"{loc}.children is not a list")
+        else:
+            problems.extend(_validate_spans(children, f"{loc}.children"))
+    return problems

@@ -1,0 +1,282 @@
+"""Span tracer and metrics registry (the heart of ``repro.obs``).
+
+Two collector implementations share one interface:
+
+* :class:`ObsCollector` — the *enabled* collector. ``span(...)`` opens
+  a hierarchical span (wall time via the monotonic
+  ``time.perf_counter``, arbitrary attributes, nesting through an
+  explicit stack), ``count``/``gauge`` update the metrics registry.
+* :class:`NullCollector` — the *disabled* collector, a process-wide
+  singleton (:data:`NULL_OBS`). Every operation is a no-op returning a
+  shared inert span, so instrumented code pays one attribute lookup and
+  a call — nothing else — when observability is off.
+
+There is deliberately **no** module-level "current collector": the
+collector is threaded explicitly through configs and function
+arguments, which keeps the parallel fan-out fork-safe (worker processes
+build their own collectors and return plain counter dicts for the
+parent to merge) and keeps results independent of ambient state.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterator, Mapping
+
+
+class Span:
+    """One timed phase of the pipeline, possibly with children.
+
+    Spans are context managers; entering records the start time on the
+    monotonic clock, exiting records ``elapsed_seconds`` and attaches
+    the span to its parent (or the collector's root list).
+    """
+
+    __slots__ = ("name", "attrs", "elapsed_seconds", "children", "_collector", "_t0")
+
+    def __init__(self, collector: "ObsCollector", name: str, attrs: dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+        self.elapsed_seconds: float = 0.0
+        self.children: list[Span] = []
+        self._collector = collector
+        self._t0 = 0.0
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach (or overwrite) attributes on an open or closed span."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._collector._push(self)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        self.elapsed_seconds = time.perf_counter() - self._t0
+        self._collector._pop(self)
+        return False
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and all descendants, depth-first preorder."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (the trace-file schema)."""
+        out: dict[str, Any] = {
+            "name": self.name,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, {self.elapsed_seconds:.4f}s, "
+            f"children={len(self.children)})"
+        )
+
+
+class _NullSpan:
+    """The inert span handed out by :class:`NullCollector`.
+
+    A single shared instance; entering/exiting touches nothing, and
+    ``set`` discards its arguments. ``elapsed_seconds`` is always 0.0.
+    """
+
+    __slots__ = ()
+
+    name = ""
+    attrs: dict[str, Any] = {}
+    elapsed_seconds = 0.0
+    children: tuple = ()
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        return False
+
+
+class ObsCollector:
+    """Enabled observability collector: span tree + metrics registry.
+
+    Attributes
+    ----------
+    counters:
+        Named monotonically-increasing integer counters (candidates
+        generated, support-pruned, cache hits, ...).
+    gauges:
+        Named point-in-time values (universe size, rows, ...); a
+        repeated ``gauge`` overwrites.
+    roots:
+        Completed top-level spans, in completion order.
+    """
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    # -- spans -----------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """A new span; use as a context manager to time a phase."""
+        return Span(self, name, attrs)
+
+    def _push(self, span: Span) -> None:
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        # Exiting out of order (a span leaked across a generator) would
+        # corrupt the tree; tolerate it by unwinding to the span.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+
+    def current_span(self) -> Span | None:
+        """The innermost open span, or None outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    # -- metrics ---------------------------------------------------------
+
+    def count(self, name: str, value: int = 1) -> None:
+        """Increment a named counter."""
+        self.counters[name] = self.counters.get(name, 0) + int(value)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record a point-in-time value (overwrites)."""
+        self.gauges[name] = value
+
+    def counter(self, name: str) -> int:
+        """Current value of a counter (0 if never incremented)."""
+        return self.counters.get(name, 0)
+
+    def merge_counters(self, counters: Mapping[str, int]) -> None:
+        """Fold a worker shard's counter snapshot into this registry.
+
+        Used by the parallel fan-out: each worker mines with a private
+        collector and ships back plain dicts; merging is plain addition
+        so ``n_jobs > 1`` totals equal serial totals.
+        """
+        for name, value in counters.items():
+            self.counters[name] = self.counters.get(name, 0) + int(value)
+
+    # -- snapshots -------------------------------------------------------
+
+    def metrics_dict(self) -> dict[str, Any]:
+        """Counters and gauges, keys sorted for deterministic output."""
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+        }
+
+    def trace_dict(self) -> list[dict[str, Any]]:
+        """The completed span forest, JSON-ready."""
+        return [s.to_dict() for s in self.roots]
+
+    def phase_seconds(self) -> dict[str, float]:
+        """Elapsed time per span, flattened to dotted phase paths.
+
+        Repeated phases (e.g. one ``mine`` span per polarity subspace)
+        accumulate. Only completed spans are included.
+        """
+        out: dict[str, float] = {}
+
+        def visit(span: Span, prefix: str) -> None:
+            path = f"{prefix}.{span.name}" if prefix else span.name
+            out[path] = out.get(path, 0.0) + span.elapsed_seconds
+            for child in span.children:
+                visit(child, path)
+
+        for root in self.roots:
+            visit(root, "")
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"ObsCollector(spans={len(self.roots)}, "
+            f"counters={len(self.counters)}, gauges={len(self.gauges)})"
+        )
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def _null_collector() -> "NullCollector":
+    return NULL_OBS
+
+
+class NullCollector:
+    """Disabled collector: every operation is a cheap no-op.
+
+    A single shared instance lives at :data:`NULL_OBS`; pickling round-
+    trips back to that singleton so engines shipped to worker processes
+    keep the disabled fast path.
+    """
+
+    enabled: bool = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def current_span(self) -> None:
+        return None
+
+    def count(self, name: str, value: int = 1) -> None:
+        return None
+
+    def gauge(self, name: str, value: float) -> None:
+        return None
+
+    def counter(self, name: str) -> int:
+        return 0
+
+    def merge_counters(self, counters: Mapping[str, int]) -> None:
+        return None
+
+    def metrics_dict(self) -> dict[str, Any]:
+        return {"counters": {}, "gauges": {}}
+
+    def trace_dict(self) -> list[dict[str, Any]]:
+        return []
+
+    def phase_seconds(self) -> dict[str, float]:
+        return {}
+
+    def __reduce__(self):
+        return (_null_collector, ())
+
+    def __repr__(self) -> str:
+        return "NULL_OBS"
+
+
+#: The process-wide disabled collector. Instrumented code defaults to
+#: this, so observability costs one truthiness/att lookup when off.
+NULL_OBS = NullCollector()
+
+#: Either collector flavour (for annotations).
+AnyCollector = ObsCollector | NullCollector
+
+
+def resolve_obs(obs: "AnyCollector | None") -> AnyCollector:
+    """Normalize an optional collector argument: None means disabled."""
+    if obs is None:
+        return NULL_OBS
+    return obs

@@ -33,9 +33,9 @@ def codes(source: str, path: str = LIB_PATH) -> list[str]:
 
 
 class TestRegistry:
-    def test_twelve_repo_rules_registered(self):
+    def test_thirteen_repo_rules_registered(self):
         rules = all_rules()
-        assert len(rules) >= 12
+        assert len(rules) >= 13
         assert [r.code for r in rules] == sorted(r.code for r in rules)
 
     def test_codes_names_and_rationales_unique_and_set(self):
@@ -280,6 +280,36 @@ class TestUntypedPublicApi:
 
     def test_scoped_to_typed_modules(self):
         assert codes("def api(x):\n    return x\n") == []
+
+
+class TestPrintInLibrary:
+    def test_flags_print_in_library_code(self):
+        src = """\
+        def mine(x):
+            print("debug:", x)
+            return x
+        """
+        assert codes(src) == ["RPL013"]
+
+    def test_cli_and_lint_renderer_allowlisted(self):
+        src = "print('hello')\n"
+        assert codes(src, path="src/repro/cli.py") == []
+        assert codes(src, path="src/repro/devtools/lint.py") == []
+        assert codes(src, path="src/repro/experiments/paper.py") == []
+
+    def test_shadowed_or_method_print_fine(self):
+        src = """\
+        class Writer:
+            def print(self, text):
+                return text
+
+        def render(w):
+            return w.print("x")
+        """
+        assert codes(src) == []
+
+    def test_not_applied_outside_library(self):
+        assert codes("print('x')\n", path="benchmarks/bench_x.py") == []
 
 
 class TestParseError:
