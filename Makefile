@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-json lint-baseline verify bench bench-smoke obs-smoke bench-engine
+.PHONY: test lint lint-json lint-baseline verify bench bench-smoke obs-smoke perf-gate perf-report bench-engine
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -16,13 +16,19 @@ lint-json:
 lint-baseline:
 	$(PYTHON) -m repro.devtools.lint src benchmarks --write-baseline
 
-verify: lint test bench-smoke obs-smoke
+verify: lint test bench-smoke obs-smoke perf-gate
 
 bench-smoke:
 	$(PYTHON) benchmarks/smoke.py
 
 obs-smoke:
 	$(PYTHON) benchmarks/smoke.py --obs
+
+perf-gate:
+	$(PYTHON) benchmarks/smoke.py --perf-gate
+
+perf-report:
+	$(PYTHON) -m repro.obs.perfdb --history benchmark_results/history report
 
 bench-engine:
 	$(PYTHON) -m pytest benchmarks/bench_bitset_engine.py -q

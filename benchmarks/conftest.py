@@ -5,8 +5,15 @@ computation via pytest-benchmark (single round — these are experiment
 reproductions, not microbenchmarks), and writes the rendered output to
 ``benchmark_results/<name>.txt`` as well as stdout. Every artifact
 also gets a machine-readable ``BENCH_<name>.json`` (schema
-``repro.obs/bench@1``): phase timings, the metric counters/gauges, the
-span trace, and a fingerprint of the configuration that produced it.
+``repro.obs/bench@2``): phase timings, the metric counters/gauges, the
+span trace (trimmed to :data:`MAX_SPAN_DEPTH` so deep mining recursions
+do not bloat checked-in fixtures), and a fingerprint of the
+configuration that produced it.
+
+Each emitted payload is also appended to the perfdb history
+(``benchmark_results/history/<name>.jsonl``) so successive bench runs
+build the trajectory ``python -m repro.obs.perfdb report`` summarizes;
+the session prints that report when it ends.
 """
 
 from __future__ import annotations
@@ -17,8 +24,17 @@ import pytest
 
 from repro.experiments import load_context
 from repro.obs import NULL_OBS, write_bench_json
+from repro.obs.perfdb import record_payload, render_report_text, report_payload
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmark_results"
+HISTORY_DIR = RESULTS_DIR / "history"
+
+#: Span depth kept in BENCH_*.json fixtures. Depth 4 retains the
+#: explore phases plus one level of mining internals; deeper recursion
+#: collapses into ``children_dropped``/``children_seconds`` totals.
+MAX_SPAN_DEPTH = 4
+
+_emitted_any = False
 
 
 @pytest.fixture(scope="session")
@@ -26,22 +42,34 @@ def emit():
     """Write a rendered artifact to stdout and benchmark_results/.
 
     ``_emit(name, text, obs=..., config=..., extra=...)`` writes
-    ``<name>.txt`` plus the telemetry sidecar ``BENCH_<name>.json``.
-    Benches that never built a collector still get a (schema-valid,
-    empty-metrics) sidecar, so downstream tooling can rely on the
-    file's existence.
+    ``<name>.txt`` plus the telemetry sidecar ``BENCH_<name>.json``
+    and appends the payload to the perfdb history. Benches that never
+    built a collector still get a (schema-valid, empty-metrics)
+    sidecar, so downstream tooling can rely on the file's existence.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
 
-    def _emit(name, text, obs=NULL_OBS, config=None, extra=None):
+    def _emit(name, text, obs=NULL_OBS, config=None, extra=None,
+              max_span_depth=MAX_SPAN_DEPTH):
+        global _emitted_any
         print(f"\n{text}\n")
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
-        write_bench_json(
+        payload = write_bench_json(
             RESULTS_DIR / f"BENCH_{name}.json",
             name, obs=obs, config=config, extra=extra,
+            max_span_depth=max_span_depth,
         )
+        record_payload(HISTORY_DIR, payload)
+        _emitted_any = True
 
     return _emit
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Print the perfdb trajectory after a bench session that emitted."""
+    if _emitted_any:
+        print()
+        print(render_report_text(report_payload(HISTORY_DIR)))
 
 
 @pytest.fixture(scope="session")

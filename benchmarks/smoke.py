@@ -15,10 +15,18 @@ enabling a collector must not change the ResultSet, and instrumented
 runs must stay within ``MAX_OBS_OVERHEAD`` of the disabled-mode wall
 time (best-of-3, with an absolute epsilon for timer noise).
 
+With ``--perf-gate`` it times the same workload once, compares the
+phase wall times against the perfdb history baseline
+(``benchmark_results/history/``, median of recent matching records —
+see ``repro.obs.perfdb``), appends the fresh run to the history, and
+exits non-zero on any regression. With no or too-little history the
+gate records and passes.
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/smoke.py          # or: make bench-smoke
-    PYTHONPATH=src python benchmarks/smoke.py --obs    # or: make obs-smoke
+    PYTHONPATH=src python benchmarks/smoke.py              # or: make bench-smoke
+    PYTHONPATH=src python benchmarks/smoke.py --obs        # or: make obs-smoke
+    PYTHONPATH=src python benchmarks/smoke.py --perf-gate  # or: make perf-gate
 """
 
 from __future__ import annotations
@@ -163,5 +171,45 @@ def obs_main() -> int:
     return 0
 
 
+def perf_gate_main() -> int:
+    """Perf gate: fail when the smoke workload regresses vs. history."""
+    from repro.obs import ObsCollector, bench_payload
+    from repro.obs.perfdb import (
+        GatePolicy, compare_payload, load_history, record_payload,
+    )
+
+    ctx = load_context("synthetic-peak")
+    ctx.leaf_items(0.1, "divergence")  # warm the discretization cache
+    run_hierarchical(ctx, SUPPORT)  # warm caches/imports untimed
+    obs = ObsCollector()
+    run_hierarchical(ctx, SUPPORT, obs=obs)
+    payload = bench_payload(
+        "smoke_fig2", obs=obs,
+        config={"dataset": "synthetic-peak", "support": SUPPORT},
+    )
+    history_dir = REPO_ROOT / "benchmark_results" / "history"
+    comparison = compare_payload(
+        payload, load_history(history_dir, payload["name"]), GatePolicy()
+    )
+    print(comparison.render_text())
+    record_payload(history_dir, payload)
+    n = len(load_history(history_dir, payload["name"]))
+    print(f"recorded -> {history_dir / 'smoke_fig2.jsonl'} ({n} records)")
+    if not comparison.ok:
+        print("perf gate FAILED: phase regression vs. history baseline",
+              file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+def _main(argv: list[str]) -> int:
+    if "--obs" in argv:
+        return obs_main()
+    if "--perf-gate" in argv:
+        return perf_gate_main()
+    return main()
+
+
 if __name__ == "__main__":
-    sys.exit(obs_main() if "--obs" in sys.argv[1:] else main())
+    sys.exit(_main(sys.argv[1:]))

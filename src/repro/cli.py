@@ -112,8 +112,12 @@ def cmd_generate(args) -> int:
 
 
 def _build_obs(args):
-    """An ObsCollector when --trace/--metrics-out asked for one."""
-    if getattr(args, "trace", None) or getattr(args, "metrics_out", None):
+    """An ObsCollector when --trace/--metrics-out/--profile-memory asked."""
+    if (
+        getattr(args, "trace", None)
+        or getattr(args, "metrics_out", None)
+        or getattr(args, "profile_memory", False)
+    ):
         from repro.obs import ObsCollector
 
         return ObsCollector()
@@ -124,6 +128,15 @@ def _write_obs(args, obs) -> None:
     """Write the trace / metrics files requested on the command line."""
     if obs is None:
         return
+    if getattr(args, "profile_memory", False):
+        obs.stop_memory_profiling()
+        if obs.mem_peaks:
+            print("peak memory (tracemalloc, per span path):")
+            for name in sorted(obs.mem_peaks):
+                print(f"  {name:<40s} {obs.mem_peaks[name] / 1024.0:10.1f} KiB")
+        rss = obs.gauges.get("mem.rss_max_kb")
+        if rss is not None:
+            print(f"  {'process rss high-water':<40s} {rss:10.1f} KiB")
     from repro.obs import write_metrics, write_trace
 
     if args.trace:
@@ -144,6 +157,7 @@ def _explore_config(args, obs=None) -> ExploreConfig:
         polarity=getattr(args, "polarity", False),
         n_jobs=getattr(args, "n_jobs", 1),
         obs=obs,
+        profile_memory=getattr(args, "profile_memory", False) and obs is not None,
     )
 
 
@@ -299,6 +313,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--metrics-out", metavar="FILE", dest="metrics_out",
             help="write the metrics registry (counters/gauges) as JSON",
+        )
+        p.add_argument(
+            "--profile-memory", action="store_true", dest="profile_memory",
+            help="track tracemalloc peak allocations per span "
+            "(slows the run; timings are not comparable)",
         )
 
     p = sub.add_parser("explore", help="find divergent subgroups in a CSV")

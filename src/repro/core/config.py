@@ -73,6 +73,15 @@ class ExploreConfig:
         :data:`repro.obs.NULL_OBS`; never affects results and is
         excluded from equality, :meth:`to_dict` and
         :meth:`fingerprint`.
+    profile_memory:
+        Turn on per-span peak-allocation tracking (tracemalloc) on the
+        attached collector — span attributes gain ``mem_peak_bytes``
+        and the collector's ``mem_peaks`` registry fills in (see
+        ``repro.obs.profile``). A no-op with the default
+        :data:`~repro.obs.NULL_OBS` collector, so disabled-mode runs
+        stay zero-cost. Like ``obs`` it never affects results and is
+        excluded from equality, :meth:`to_dict` and
+        :meth:`fingerprint`.
     """
 
     min_support: float = 0.05
@@ -83,6 +92,7 @@ class ExploreConfig:
     max_length: int | None = None
     n_jobs: int = 1
     obs: AnyCollector = field(default=NULL_OBS, compare=False, repr=False)
+    profile_memory: bool = field(default=False, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not 0.0 < self.min_support <= 1.0:
@@ -97,6 +107,10 @@ class ExploreConfig:
             raise ValueError("max_length must be positive")
         if self.obs is None:
             object.__setattr__(self, "obs", NULL_OBS)
+        if self.profile_memory:
+            # Profiling lives on the collector (NULL_OBS: no-op), so a
+            # frozen config can switch it on without holding state.
+            self.obs.enable_memory_profiling()
 
     def replace(self, **changes: object) -> "ExploreConfig":
         """A copy with the given fields changed (and re-validated)."""
@@ -105,14 +119,14 @@ class ExploreConfig:
     def to_dict(self) -> dict[str, object]:
         """The result-affecting fields as a plain dict.
 
-        The ``obs`` collector is excluded: it never changes results,
-        so two configs that differ only in observability serialize
-        (and fingerprint) identically.
+        The ``obs`` collector and the ``profile_memory`` switch are
+        excluded: neither changes results, so two configs that differ
+        only in observability serialize (and fingerprint) identically.
         """
         return {
             f.name: getattr(self, f.name)
             for f in dataclasses.fields(self)
-            if f.name != "obs"
+            if f.name not in ("obs", "profile_memory")
         }
 
     def fingerprint(self) -> str:

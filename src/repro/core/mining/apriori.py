@@ -104,6 +104,11 @@ BitsetEngine`), candidate masks are packed uint64 covers: the
         frontier = next_frontier
         frequent_prev = next_frequent
         length += 1
+    if obs.enabled:
+        span = obs.current_span()
+        if span is not None:
+            # The breadth-first depth reached (levels fully generated).
+            span.set(levels=length)
     return results
 
 

@@ -449,4 +449,12 @@ def mine_bitset(
     """
     if engine is None:
         engine = BitsetEngine(universe)
-    return engine.mine(min_support, max_length)
+    mined = engine.mine(min_support, max_length)
+    obs = engine.obs
+    if obs.enabled:
+        span = obs.current_span()
+        if span is not None:
+            span.set(
+                cache_entries=len(engine._cache), packed_words=engine.n_words
+            )
+    return mined

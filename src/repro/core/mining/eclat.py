@@ -89,4 +89,11 @@ BitsetEngine`), tid-sets live as packed uint64 covers and the DFS runs
                 extend(itemset, mask, narrowed)
 
     extend((), np.ones(universe.n_rows, dtype=bool), frequent)
+    if obs.enabled:
+        span = obs.current_span()
+        if span is not None:
+            # The deepest itemset the DFS materialized.
+            span.set(
+                max_depth=max((len(m.ids) for m in results), default=0)
+            )
     return results

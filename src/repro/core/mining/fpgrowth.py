@@ -179,6 +179,10 @@ BitsetEngine`), the initial frequency scan popcounts packed covers and
         max_length=max_length,
         obs=obs,
     )
+    if obs.enabled:
+        span = obs.current_span()
+        if span is not None:
+            span.set(transactions=inserted, frequent_items=len(frequent))
     return results
 
 

@@ -34,25 +34,33 @@ def _init_worker(engine: BitsetEngine) -> None:
 
 
 def _mine_shard(task):
-    """Mine one prefix shard; returns ``(raw results, counter dict | None)``.
+    """Mine one prefix shard; returns ``(raw, counters | None, peaks | None)``.
 
     When the parent collects metrics, the shard mines against a private
     per-task collector and ships its counters back as a plain dict —
     workers never share a collector, which keeps the fan-out fork-safe
-    and makes the parent's merged totals equal the serial totals.
+    and makes the parent's merged totals equal the serial totals. With
+    memory profiling on, mining additionally runs inside a
+    ``mine.shard`` span so the worker's peak allocation comes back as a
+    peak-mem dict for the parent to max-merge (``merge_peaks``).
     """
-    root, tail, min_support, max_length, collect = task
+    root, tail, min_support, max_length, collect, profile = task
     engine = _WORKER_ENGINE
     if not collect:
-        return engine.mine_subtree(root, tail, min_support, max_length), None
-    shard_obs = ObsCollector()
+        return engine.mine_subtree(root, tail, min_support, max_length), None, None
+    shard_obs = ObsCollector(profile_memory=profile)
     prev = engine.obs
     engine.obs = shard_obs
     try:
-        raw = engine.mine_subtree(root, tail, min_support, max_length)
+        if profile:
+            with shard_obs.span("mine.shard", root=root):
+                raw = engine.mine_subtree(root, tail, min_support, max_length)
+        else:
+            raw = engine.mine_subtree(root, tail, min_support, max_length)
     finally:
         engine.obs = prev
-    return raw, dict(shard_obs.counters)
+        shard_obs.stop_memory_profiling()
+    return raw, dict(shard_obs.counters), dict(shard_obs.mem_peaks)
 
 
 def resolve_n_jobs(n_jobs: int | None) -> int:
@@ -103,7 +111,9 @@ def mine_parallel(
     When ``obs`` is enabled, the level-1 scan is counted here (once —
     the workers do not re-count their shard roots) and each worker
     returns its private counter dict for the parent to merge, so the
-    merged ``mining.*`` totals are identical to a serial run.
+    merged ``mining.*`` totals are identical to a serial run. With
+    memory profiling on, workers also return per-shard peak-allocation
+    dicts, max-merged into the parent's ``mem_peaks`` registry.
     """
     obs = resolve_obs(obs)
     n_jobs = resolve_n_jobs(n_jobs)
@@ -122,8 +132,10 @@ def mine_parallel(
         obs.count("mining.rows_scanned", universe.n_items() * universe.n_rows)
         obs.gauge("mining.shards", len(shards))
     collect = obs.enabled
+    profile = collect and obs.profile_memory
     tasks = [
-        (root, tail, min_support, max_length, collect) for root, tail in shards
+        (root, tail, min_support, max_length, collect, profile)
+        for root, tail in shards
     ]
     ctx = _pool_context()
     engine.clear_cache()  # ship a lean engine to the workers
@@ -139,10 +151,12 @@ def mine_parallel(
     finally:
         engine.obs = prev_obs
     results: list[MinedItemset] = []
-    for raw, counters in per_shard:
+    for raw, counters, peaks in per_shard:
         results.extend(raw_to_mined(raw))
         if counters:
             obs.merge_counters(counters)
+        if peaks:
+            obs.merge_peaks(peaks)
     return results
 
 

@@ -1,4 +1,4 @@
-"""The reprolint rule catalogue (RPL001–RPL013).
+"""The reprolint rule catalogue (RPL001–RPL014).
 
 Each rule encodes one invariant the reproduction depends on —
 determinism across backends and ``n_jobs``, independence from the
@@ -59,7 +59,22 @@ PRINT_ALLOWED_MODULES = (
     "src/repro/cli.py",
     "src/repro/devtools/lint.py",
     "src/repro/experiments/paper.py",
+    "src/repro/obs/perfdb.py",
 )
+
+#: Wall-clock datetime constructors (RPL014). Timing in the library
+#: must come from ``time.perf_counter``; timestamps that are genuinely
+#: metadata carry an inline pragma with the justification.
+WALLCLOCK_DATETIME_CALLS = {
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
 
 _FLOAT_SENSITIVE = re.compile(r"(divergence|criteria|significance|polarity)")
 
@@ -568,3 +583,42 @@ class UntypedPublicApiRule(Rule):
                     f"public function {node.name}(): missing return "
                     f"annotation"
                 )
+
+
+@register
+class WallClockDatetimeRule(Rule):
+    code = "RPL014"
+    name = "wall-clock-datetime"
+    severity = Severity.ERROR
+    rationale = (
+        "datetime.now()/utcnow()/today() are wall-clock, exactly like "
+        "the time.time() RPL010 bans: subtracting two of them measures "
+        "NTP slew, not elapsed work. Intervals come from "
+        "time.perf_counter(); a timestamp that is genuinely metadata "
+        "(perf-history records, log lines) carries an inline pragma "
+        "stating so."
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return _in_library(path)
+
+    def check(self, ctx: ModuleContext) -> Iterator[tuple[ast.AST, str]]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in WALLCLOCK_DATETIME_CALLS:
+                    yield node, (
+                        f"{name}() is wall-clock: use time.perf_counter() "
+                        f"for intervals; if this is a metadata timestamp, "
+                        f"suppress with a justification"
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module == "datetime":
+                for alias in node.names:
+                    if alias.name in ("datetime", "date") and alias.asname:
+                        # Renamed imports would dodge the dotted-name
+                        # match above; keep the spelling canonical.
+                        yield node, (
+                            f"'from datetime import {alias.name} as "
+                            f"{alias.asname}' hides wall-clock calls from "
+                            f"this lint: import it unaliased"
+                        )

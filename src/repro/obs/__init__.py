@@ -13,8 +13,10 @@ JSON schemas of trace, metrics, and ``BENCH_*.json`` files.
 
 from repro.obs.bench import (
     BENCH_SCHEMA,
+    BENCH_SCHEMA_V1,
     bench_payload,
     config_fingerprint,
+    trim_spans,
     validate_bench_payload,
     write_bench_json,
 )
@@ -26,6 +28,7 @@ from repro.obs.collector import (
     Span,
     resolve_obs,
 )
+from repro.obs.profile import MemTracker, max_rss_kb
 from repro.obs.report import (
     METRICS_SCHEMA,
     TRACE_SCHEMA,
@@ -38,24 +41,64 @@ from repro.obs.report import (
     write_trace,
 )
 
+# perfdb symbols resolve lazily (PEP 562) so that `python -m
+# repro.obs.perfdb` does not import the module twice via the package.
+_PERFDB_EXPORTS = frozenset({
+    "PERFDB_SCHEMA",
+    "Comparison",
+    "GatePolicy",
+    "PhaseComparison",
+    "append_record",
+    "compare_payload",
+    "load_history",
+    "record_from_payload",
+    "record_payload",
+    "report_payload",
+    "validate_record",
+})
+
+
+def __getattr__(name: str):
+    if name in _PERFDB_EXPORTS:
+        from repro.obs import perfdb
+
+        return getattr(perfdb, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "BENCH_SCHEMA",
+    "BENCH_SCHEMA_V1",
     "METRICS_SCHEMA",
     "NULL_OBS",
+    "PERFDB_SCHEMA",
     "TRACE_SCHEMA",
     "AnyCollector",
+    "Comparison",
+    "GatePolicy",
+    "MemTracker",
     "NullCollector",
     "ObsCollector",
+    "PhaseComparison",
     "Span",
+    "append_record",
     "bench_payload",
     "cache_hit_rate",
+    "compare_payload",
     "config_fingerprint",
+    "load_history",
+    "max_rss_kb",
     "metrics_payload",
     "obs_summary",
+    "record_from_payload",
+    "record_payload",
     "render_text",
+    "report_payload",
     "resolve_obs",
     "trace_payload",
+    "trim_spans",
     "validate_bench_payload",
+    "validate_record",
     "write_bench_json",
     "write_metrics",
     "write_trace",

@@ -32,7 +32,10 @@ class Span:
     the span to its parent (or the collector's root list).
     """
 
-    __slots__ = ("name", "attrs", "elapsed_seconds", "children", "_collector", "_t0")
+    __slots__ = (
+        "name", "attrs", "elapsed_seconds", "children", "_collector", "_t0",
+        "_mem_base", "_mem_child_peak",
+    )
 
     def __init__(self, collector: "ObsCollector", name: str, attrs: dict[str, Any]):
         self.name = name
@@ -41,6 +44,8 @@ class Span:
         self.children: list[Span] = []
         self._collector = collector
         self._t0 = 0.0
+        self._mem_base = 0
+        self._mem_child_peak = 0
 
     def set(self, **attrs: Any) -> "Span":
         """Attach (or overwrite) attributes on an open or closed span."""
@@ -119,15 +124,70 @@ class ObsCollector:
         repeated ``gauge`` overwrites.
     roots:
         Completed top-level spans, in completion order.
+    mem_peaks:
+        Peak traced allocation per dotted span path (bytes), populated
+        only when memory profiling is on. Merging is ``max``, not
+        addition — a peak is a high-water mark, not a total.
     """
 
     enabled: bool = True
 
-    def __init__(self) -> None:
+    def __init__(self, profile_memory: bool = False) -> None:
         self.counters: dict[str, int] = {}
         self.gauges: dict[str, float] = {}
         self.roots: list[Span] = []
+        self.mem_peaks: dict[str, int] = {}
         self._stack: list[Span] = []
+        self._mem = None
+        if profile_memory:
+            self.enable_memory_profiling()
+
+    # -- memory profiling ------------------------------------------------
+
+    @property
+    def profile_memory(self) -> bool:
+        """True when spans record tracemalloc peaks (see repro.obs.profile)."""
+        return self._mem is not None
+
+    def enable_memory_profiling(self) -> None:
+        """Start per-span peak-allocation tracking (idempotent).
+
+        Begins a tracemalloc session (unless one is already running);
+        every span closed from here on carries ``mem_peak_bytes`` and
+        feeds the :attr:`mem_peaks` registry. Never affects results.
+        """
+        if self._mem is None:
+            from repro.obs.profile import MemTracker
+
+            self._mem = MemTracker()
+
+    def stop_memory_profiling(self) -> None:
+        """Stop the tracemalloc session this collector started, if any.
+
+        Recorded peaks are kept; only the (process-global) tracing is
+        torn down, and only when this collector was the one to start
+        it.
+        """
+        if self._mem is not None:
+            self._mem.stop()
+            self._mem = None
+
+    def record_peak(self, name: str, peak_bytes: int) -> None:
+        """Fold a peak observation into :attr:`mem_peaks` (max-merge)."""
+        peak_bytes = int(peak_bytes)
+        if peak_bytes > self.mem_peaks.get(name, -1):
+            self.mem_peaks[name] = peak_bytes
+
+    def merge_peaks(self, peaks: Mapping[str, int]) -> None:
+        """Max-merge a worker shard's peak-memory dict into this registry.
+
+        The parallel fan-out counterpart of :meth:`merge_counters`:
+        workers profile with private collectors and ship back plain
+        dicts. Peaks are per-process high-water marks, so the merged
+        value is the maximum across shards, not a sum.
+        """
+        for name, value in peaks.items():
+            self.record_peak(name, value)
 
     # -- spans -----------------------------------------------------------
 
@@ -136,6 +196,16 @@ class ObsCollector:
         return Span(self, name, attrs)
 
     def _push(self, span: Span) -> None:
+        if self._mem is not None:
+            current, peak = self._mem.snapshot()
+            if self._stack:
+                # Bank the parent's running peak before the window resets.
+                parent = self._stack[-1]
+                if peak > parent._mem_child_peak:
+                    parent._mem_child_peak = peak
+            span._mem_base = current
+            span._mem_child_peak = 0
+            self._mem.reset_peak()
         self._stack.append(span)
 
     def _pop(self, span: Span) -> None:
@@ -145,10 +215,32 @@ class ObsCollector:
             top = self._stack.pop()
             if top is span:
                 break
+        if self._mem is not None:
+            self._close_mem(span)
         if self._stack:
             self._stack[-1].children.append(span)
         else:
             self.roots.append(span)
+
+    def _close_mem(self, span: Span) -> None:
+        """Record the span's peak window and propagate it outward."""
+        _current, peak = self._mem.snapshot()
+        abs_peak = max(peak, span._mem_child_peak)
+        rel_peak = max(0, abs_peak - span._mem_base)
+        span.attrs["mem_peak_bytes"] = rel_peak
+        path = ".".join([s.name for s in self._stack] + [span.name])
+        self.record_peak(path, rel_peak)
+        if self._stack:
+            parent = self._stack[-1]
+            if abs_peak > parent._mem_child_peak:
+                parent._mem_child_peak = abs_peak
+        else:
+            from repro.obs.profile import max_rss_kb
+
+            rss = max_rss_kb()
+            if rss is not None:
+                self.gauge("mem.rss_max_kb", rss)
+        self._mem.reset_peak()
 
     def current_span(self) -> Span | None:
         """The innermost open span, or None outside any span."""
@@ -232,6 +324,8 @@ class NullCollector:
     """
 
     enabled: bool = False
+    profile_memory: bool = False
+    mem_peaks: Mapping[str, int] = {}
 
     def span(self, name: str, **attrs: Any) -> _NullSpan:
         return _NULL_SPAN
@@ -249,6 +343,18 @@ class NullCollector:
         return 0
 
     def merge_counters(self, counters: Mapping[str, int]) -> None:
+        return None
+
+    def enable_memory_profiling(self) -> None:
+        return None
+
+    def stop_memory_profiling(self) -> None:
+        return None
+
+    def record_peak(self, name: str, peak_bytes: int) -> None:
+        return None
+
+    def merge_peaks(self, peaks: Mapping[str, int]) -> None:
         return None
 
     def metrics_dict(self) -> dict[str, Any]:

@@ -1,0 +1,680 @@
+"""perfdb — append-only benchmark history and regression gating.
+
+``repro.obs.bench`` gives every benchmark a machine-readable
+``BENCH_<name>.json`` snapshot; this module turns those one-shot
+payloads into a *longitudinal* performance record. Three pieces:
+
+* **History store** — one JSONL file per bench under
+  ``benchmark_results/history/`` (``<bench>.jsonl``), append-only.
+  Each line is a ``repro.obs/perfdb@1`` record: the payload's phase
+  wall times, counters/gauges and (when profiled) peak-memory dict,
+  keyed by config fingerprint + git SHA + hostname + timestamp.
+* **Regression detector** — a noise-tolerant comparison of a fresh
+  BENCH payload against the *median* of the last N matching history
+  records per (bench, phase) pair. Matching means same config
+  fingerprint (and, by default, same hostname — wall times do not
+  transfer between machines); the earliest ``warmup`` records are
+  discarded as cold-cache runs. A phase regresses only when it is
+  slower than the baseline median by **both** the relative and the
+  absolute threshold, so timer noise on microsecond phases can never
+  trip the gate.
+* **CLI** — ``python -m repro.obs.perfdb {record,compare,report,gate}``
+  with text/JSON reporters in the house style. ``gate`` is the CI
+  entry point: exit 1 on any regression (``benchmarks/smoke.py
+  --perf-gate`` and ``make perf-gate`` drive it).
+
+Timestamps are metadata (never used for interval math — reprolint
+RPL014 bans wall-clock timing in the library); phase durations always
+come from the span tracer's ``time.perf_counter``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from statistics import median
+from typing import Any, Iterable, Mapping
+
+from repro.obs.bench import validate_bench_payload
+
+PERFDB_SCHEMA = "repro.obs/perfdb@1"
+PERFDB_REPORT_SCHEMA = "repro.obs/perfdb-report@1"
+
+#: Default history location, relative to the repo root / CWD.
+DEFAULT_HISTORY_DIR = "benchmark_results/history"
+
+#: Phase statuses a comparison can produce. Only ``regression`` fails
+#: the gate.
+STATUSES = (
+    "ok", "regression", "improved", "new", "insufficient-history",
+)
+
+
+def utc_timestamp() -> str:
+    """Current UTC time as an ISO-8601 string (history metadata only)."""
+    from datetime import datetime, timezone
+
+    # reprolint: disable-next-line=RPL014 (record timestamp is metadata, not an interval)
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def current_git_sha(cwd: str | Path | None = None) -> str:
+    """Short git SHA of HEAD, or ``"unknown"`` outside a checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=str(cwd) if cwd is not None else None,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else "unknown"
+
+
+# -- history store --------------------------------------------------------
+
+
+def record_from_payload(
+    payload: Mapping[str, Any],
+    git_sha: str | None = None,
+    hostname: str | None = None,
+    recorded_at: str | None = None,
+) -> dict[str, Any]:
+    """Build a ``perfdb@1`` history record from a BENCH payload.
+
+    The payload must be schema-valid (:func:`validate_bench_payload`);
+    missing metadata is filled from the environment (HEAD's SHA, the
+    hostname, the current UTC time).
+    """
+    problems = validate_bench_payload(payload)
+    if problems:
+        raise ValueError(
+            f"invalid bench payload: {'; '.join(problems)}"
+        )
+    record: dict[str, Any] = {
+        "schema": PERFDB_SCHEMA,
+        "bench": payload["name"],
+        "config_fingerprint": payload["config_fingerprint"],
+        "git_sha": git_sha if git_sha is not None else current_git_sha(),
+        "hostname": (
+            hostname if hostname is not None else socket.gethostname()
+        ),
+        "recorded_at": (
+            recorded_at if recorded_at is not None else utc_timestamp()
+        ),
+        "phases": dict(payload["phases"]),
+        "counters": dict(payload["counters"]),
+        "gauges": dict(payload["gauges"]),
+    }
+    if payload.get("mem_peaks"):
+        record["mem_peaks"] = dict(payload["mem_peaks"])
+    if payload.get("extra"):
+        record["extra"] = dict(payload["extra"])
+    return record
+
+
+def validate_record(record: Mapping[str, Any]) -> list[str]:
+    """Schema-check a history record; returns problems (empty = valid)."""
+    problems: list[str] = []
+    if record.get("schema") != PERFDB_SCHEMA:
+        problems.append(
+            f"schema != {PERFDB_SCHEMA!r}: {record.get('schema')!r}"
+        )
+    for key in ("bench", "git_sha", "hostname", "recorded_at"):
+        if not isinstance(record.get(key), str) or not record.get(key):
+            problems.append(f"{key} missing or empty")
+    fp = record.get("config_fingerprint")
+    if not isinstance(fp, str) or len(fp) != 16:
+        problems.append("config_fingerprint missing or malformed")
+    phases = record.get("phases")
+    if not isinstance(phases, dict):
+        problems.append("phases missing or not an object")
+    else:
+        bad = [
+            k for k, v in phases.items()
+            if not isinstance(v, (int, float)) or v < 0
+        ]
+        if bad:
+            problems.append(f"negative or non-numeric phases: {sorted(bad)}")
+    return problems
+
+
+def history_path(history_dir: str | Path, bench: str) -> Path:
+    """The JSONL file holding one bench's history."""
+    if not bench or "/" in bench or bench.startswith("."):
+        raise ValueError(f"invalid bench name {bench!r}")
+    return Path(history_dir) / f"{bench}.jsonl"
+
+
+def append_record(
+    history_dir: str | Path, record: Mapping[str, Any]
+) -> Path:
+    """Append one record to its bench's JSONL history (creates the dir)."""
+    problems = validate_record(record)
+    if problems:
+        raise ValueError(f"invalid perfdb record: {'; '.join(problems)}")
+    path = history_path(history_dir, record["bench"])
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+def record_payload(
+    history_dir: str | Path,
+    payload: Mapping[str, Any],
+    git_sha: str | None = None,
+    hostname: str | None = None,
+    recorded_at: str | None = None,
+) -> tuple[dict[str, Any], Path]:
+    """Ingest a BENCH payload: build the record and append it."""
+    record = record_from_payload(
+        payload, git_sha=git_sha, hostname=hostname, recorded_at=recorded_at
+    )
+    return record, append_record(history_dir, record)
+
+
+def load_history(history_dir: str | Path, bench: str) -> list[dict[str, Any]]:
+    """All valid records of one bench, in append (chronological) order.
+
+    Lines that fail to parse or validate are skipped — an append-only
+    log must tolerate a torn write without poisoning the gate.
+    """
+    path = history_path(history_dir, bench)
+    if not path.exists():
+        return []
+    records: list[dict[str, Any]] = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict) and not validate_record(record):
+            records.append(record)
+    return records
+
+
+def list_benches(history_dir: str | Path) -> list[str]:
+    """Bench names with history files, sorted."""
+    root = Path(history_dir)
+    if not root.is_dir():
+        return []
+    return sorted(p.stem for p in root.glob("*.jsonl"))
+
+
+# -- regression detection -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GatePolicy:
+    """Tunables of the noise-tolerant regression detector.
+
+    A phase is a regression when ``current > baseline * (1 +
+    rel_threshold)`` **and** ``current - baseline > abs_threshold`` —
+    both must hold, so microsecond phases cannot trip the gate on
+    timer jitter. The baseline is the median of the last ``window``
+    matching records after discarding the earliest ``warmup`` ones;
+    fewer than ``min_samples`` usable records means
+    ``insufficient-history`` (the gate passes and records instead).
+    """
+
+    window: int = 5
+    warmup: int = 1
+    min_samples: int = 3
+    rel_threshold: float = 0.5
+    abs_threshold: float = 0.05
+    any_host: bool = False
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.warmup < 0:
+            raise ValueError("warmup must be >= 0")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if self.rel_threshold < 0 or self.abs_threshold < 0:
+            raise ValueError("thresholds must be non-negative")
+
+
+@dataclass(frozen=True)
+class PhaseComparison:
+    """One (bench, phase) pair's verdict against its baseline."""
+
+    phase: str
+    current: float
+    baseline: float | None
+    n_samples: int
+    status: str
+
+    @property
+    def ratio(self) -> float | None:
+        if self.baseline is None:
+            return None
+        if self.baseline == 0.0:  # reprolint: disable=RPL006 (exact-zero guard)
+            return None
+        return self.current / self.baseline
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "phase": self.phase,
+            "current_seconds": self.current,
+            "baseline_seconds": self.baseline,
+            "n_samples": self.n_samples,
+            "ratio": self.ratio,
+            "status": self.status,
+        }
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A full payload-vs-history comparison (the ``compare``/``gate`` result)."""
+
+    bench: str
+    config_fingerprint: str
+    hostname: str
+    n_baseline: int
+    policy: GatePolicy
+    rows: tuple[PhaseComparison, ...] = field(default=())
+
+    @property
+    def regressions(self) -> list[PhaseComparison]:
+        return [r for r in self.rows if r.status == "regression"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": PERFDB_REPORT_SCHEMA,
+            "kind": "compare",
+            "bench": self.bench,
+            "config_fingerprint": self.config_fingerprint,
+            "hostname": self.hostname,
+            "n_baseline": self.n_baseline,
+            "ok": self.ok,
+            "policy": {
+                "window": self.policy.window,
+                "warmup": self.policy.warmup,
+                "min_samples": self.policy.min_samples,
+                "rel_threshold": self.policy.rel_threshold,
+                "abs_threshold": self.policy.abs_threshold,
+                "any_host": self.policy.any_host,
+            },
+            "phases": [r.to_dict() for r in self.rows],
+        }
+
+    def render_text(self) -> str:
+        title = (
+            f"perfdb compare: {self.bench} "
+            f"[{self.config_fingerprint}] on {self.hostname} "
+            f"({self.n_baseline} baseline record"
+            f"{'' if self.n_baseline == 1 else 's'})"
+        )
+        lines = [title, "-" * len(title)]
+        if not self.rows:
+            lines.append("  (no phases)")
+        for row in self.rows:
+            base = (
+                f"{row.baseline * 1e3:10.2f} ms"
+                if row.baseline is not None else f"{'—':>13s}"
+            )
+            ratio = (
+                f"{row.ratio:6.2f}x" if row.ratio is not None else f"{'—':>7s}"
+            )
+            lines.append(
+                f"  {row.phase:<32s} {row.current * 1e3:10.2f} ms  "
+                f"{base}  {ratio}  n={row.n_samples:<2d} {row.status}"
+            )
+        verdict = (
+            "PASS"
+            if self.ok
+            else f"FAIL ({len(self.regressions)} regression"
+            f"{'' if len(self.regressions) == 1 else 's'})"
+        )
+        lines.append(f"  => {verdict}")
+        return "\n".join(lines)
+
+
+def select_baseline(
+    records: Iterable[Mapping[str, Any]],
+    config_fingerprint: str,
+    hostname: str,
+    policy: GatePolicy,
+) -> list[Mapping[str, Any]]:
+    """The history records a payload is compared against.
+
+    Same config fingerprint, same hostname (unless ``any_host``),
+    earliest ``warmup`` matches dropped, last ``window`` kept.
+    """
+    matching = [
+        r for r in records
+        if r.get("config_fingerprint") == config_fingerprint
+        and (policy.any_host or r.get("hostname") == hostname)
+    ]
+    usable = matching[policy.warmup:] if policy.warmup else matching
+    if not usable and matching:
+        # Never let the warmup discard eat the whole history.
+        usable = matching[-1:]
+    return usable[-policy.window:]
+
+
+def compare_payload(
+    payload: Mapping[str, Any],
+    records: Iterable[Mapping[str, Any]],
+    policy: GatePolicy | None = None,
+    hostname: str | None = None,
+) -> Comparison:
+    """Compare a BENCH payload's phases against their history baseline."""
+    problems = validate_bench_payload(payload)
+    if problems:
+        raise ValueError(f"invalid bench payload: {'; '.join(problems)}")
+    policy = policy or GatePolicy()
+    host = hostname if hostname is not None else socket.gethostname()
+    fingerprint = payload["config_fingerprint"]
+    baseline_records = select_baseline(
+        records, fingerprint, host, policy
+    )
+    rows: list[PhaseComparison] = []
+    phases: Mapping[str, float] = payload["phases"]
+    for phase in sorted(phases):
+        current = float(phases[phase])
+        samples = [
+            float(r["phases"][phase])
+            for r in baseline_records
+            if isinstance(r.get("phases"), dict) and phase in r["phases"]
+        ]
+        if not samples:
+            rows.append(
+                PhaseComparison(phase, current, None, 0, "new")
+            )
+            continue
+        base = float(median(samples))
+        if len(samples) < policy.min_samples:
+            rows.append(
+                PhaseComparison(
+                    phase, current, base, len(samples),
+                    "insufficient-history",
+                )
+            )
+            continue
+        delta = current - base
+        if (
+            delta > policy.abs_threshold
+            and current > base * (1.0 + policy.rel_threshold)
+        ):
+            status = "regression"
+        elif (
+            -delta > policy.abs_threshold
+            and current < base * (1.0 - policy.rel_threshold)
+        ):
+            status = "improved"
+        else:
+            status = "ok"
+        rows.append(
+            PhaseComparison(phase, current, base, len(samples), status)
+        )
+    return Comparison(
+        bench=payload["name"],
+        config_fingerprint=fingerprint,
+        hostname=host,
+        n_baseline=len(baseline_records),
+        policy=policy,
+        rows=tuple(rows),
+    )
+
+
+# -- trajectory report ----------------------------------------------------
+
+
+def bench_trajectory(records: list[Mapping[str, Any]]) -> dict[str, Any]:
+    """Summary statistics of one bench's history (for ``report``)."""
+    hosts = sorted({str(r.get("hostname")) for r in records})
+    fingerprints = sorted(
+        {str(r.get("config_fingerprint")) for r in records}
+    )
+    totals = [
+        sum(v for v in r["phases"].values() if isinstance(v, (int, float)))
+        for r in records
+        if isinstance(r.get("phases"), dict)
+    ]
+    latest = records[-1] if records else {}
+    out: dict[str, Any] = {
+        "records": len(records),
+        "hosts": hosts,
+        "fingerprints": fingerprints,
+        "first_recorded_at": records[0].get("recorded_at") if records else None,
+        "last_recorded_at": latest.get("recorded_at"),
+        "last_git_sha": latest.get("git_sha"),
+        "total_seconds_latest": totals[-1] if totals else None,
+        "total_seconds_median": float(median(totals)) if totals else None,
+    }
+    return out
+
+
+def report_payload(history_dir: str | Path) -> dict[str, Any]:
+    """The JSON payload of ``perfdb report`` over a history directory."""
+    benches = {
+        bench: bench_trajectory(load_history(history_dir, bench))
+        for bench in list_benches(history_dir)
+    }
+    return {
+        "schema": PERFDB_REPORT_SCHEMA,
+        "kind": "report",
+        "history_dir": str(history_dir),
+        "benches": benches,
+    }
+
+
+def render_report_text(report: Mapping[str, Any]) -> str:
+    """Human-readable trajectory summary (one line per bench)."""
+    title = f"perfdb report: {report.get('history_dir')}"
+    lines = [title, "-" * len(title)]
+    benches: Mapping[str, Any] = report.get("benches", {})
+    if not benches:
+        lines.append("  (no history)")
+        return "\n".join(lines)
+    header = (
+        f"  {'bench':<28s} {'runs':>4s}  {'latest':>10s}  "
+        f"{'median':>10s}  last sha     last recorded"
+    )
+    lines.append(header)
+    for bench in sorted(benches):
+        t = benches[bench]
+        latest = t.get("total_seconds_latest")
+        med = t.get("total_seconds_median")
+        lines.append(
+            f"  {bench:<28s} {t.get('records', 0):>4d}  "
+            f"{(f'{latest:8.3f}s' if latest is not None else '—'):>10s}  "
+            f"{(f'{med:8.3f}s' if med is not None else '—'):>10s}  "
+            f"{str(t.get('last_git_sha') or '—'):<12s} "
+            f"{t.get('last_recorded_at') or '—'}"
+        )
+    return "\n".join(lines)
+
+
+# -- CLI ------------------------------------------------------------------
+
+
+def _load_payload(path: str | Path) -> dict[str, Any]:
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    problems = validate_bench_payload(payload)
+    if problems:
+        raise SystemExit(
+            f"{path}: invalid bench payload: {'; '.join(problems)}"
+        )
+    return payload
+
+
+def _policy_from_args(args: argparse.Namespace) -> GatePolicy:
+    return GatePolicy(
+        window=args.window,
+        warmup=args.warmup,
+        min_samples=args.min_samples,
+        rel_threshold=args.rel_threshold,
+        abs_threshold=args.abs_threshold,
+        any_host=args.any_host,
+    )
+
+
+def _add_policy_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--window", type=int, default=GatePolicy.window,
+        help="baseline = median of the last N matching records",
+    )
+    parser.add_argument(
+        "--warmup", type=int, default=GatePolicy.warmup,
+        help="discard the earliest K matching records (cold caches)",
+    )
+    parser.add_argument(
+        "--min-samples", type=int, default=GatePolicy.min_samples,
+        dest="min_samples",
+        help="fewer matching records than this = insufficient history",
+    )
+    parser.add_argument(
+        "--rel-threshold", type=float, default=GatePolicy.rel_threshold,
+        dest="rel_threshold",
+        help="relative slowdown tolerated before a regression (0.5 = +50%%)",
+    )
+    parser.add_argument(
+        "--abs-threshold", type=float, default=GatePolicy.abs_threshold,
+        dest="abs_threshold",
+        help="absolute slowdown (seconds) a regression must also exceed",
+    )
+    parser.add_argument(
+        "--any-host", action="store_true", dest="any_host",
+        help="compare against records from any hostname",
+    )
+
+
+def _compare_and_render(args: argparse.Namespace, payload: dict) -> Comparison:
+    records = load_history(args.history, payload["name"])
+    comparison = compare_payload(
+        payload, records, policy=_policy_from_args(args),
+        hostname=getattr(args, "hostname", None),
+    )
+    if args.format == "json":
+        print(json.dumps(comparison.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(comparison.render_text())
+    return comparison
+
+
+def cmd_record(args: argparse.Namespace) -> int:
+    for path in args.payloads:
+        payload = _load_payload(path)
+        record, out = record_payload(
+            args.history, payload,
+            git_sha=args.git_sha, hostname=args.hostname,
+        )
+        n = len(load_history(args.history, record["bench"]))
+        print(
+            f"recorded {record['bench']} [{record['config_fingerprint']}] "
+            f"@ {record['git_sha']} -> {out} ({n} records)"
+        )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    _compare_and_render(args, _load_payload(args.payload))
+    return 0
+
+
+def cmd_gate(args: argparse.Namespace) -> int:
+    failed = False
+    for path in args.payloads:
+        payload = _load_payload(path)
+        comparison = _compare_and_render(args, payload)
+        if args.record:
+            record_payload(args.history, payload, hostname=args.hostname)
+        if not comparison.ok:
+            failed = True
+    return 1 if failed else 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    report = report_payload(args.history)
+    if args.bench:
+        missing = [b for b in args.bench if b not in report["benches"]]
+        if missing:
+            raise SystemExit(f"no history for: {', '.join(missing)}")
+        report["benches"] = {
+            b: report["benches"][b] for b in sorted(args.bench)
+        }
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_report_text(report))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.perfdb",
+        description="benchmark history store and perf-regression gate",
+    )
+    parser.add_argument(
+        "--history", default=DEFAULT_HISTORY_DIR, metavar="DIR",
+        help=f"history directory (default: {DEFAULT_HISTORY_DIR})",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser(
+        "record", help="append BENCH_*.json payloads to the history"
+    )
+    p.add_argument("payloads", nargs="+", metavar="BENCH_JSON")
+    p.add_argument("--git-sha", dest="git_sha")
+    p.add_argument("--hostname")
+    p.set_defaults(fn=cmd_record)
+
+    p = sub.add_parser(
+        "compare", help="compare one payload against its history baseline"
+    )
+    p.add_argument("payload", metavar="BENCH_JSON")
+    _add_policy_flags(p)
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--hostname")
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser(
+        "gate",
+        help="compare payloads; exit 1 on any regression (CI entry point)",
+    )
+    p.add_argument("payloads", nargs="+", metavar="BENCH_JSON")
+    _add_policy_flags(p)
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument(
+        "--record", action="store_true",
+        help="append each payload to the history after comparing",
+    )
+    p.add_argument("--hostname")
+    p.set_defaults(fn=cmd_gate)
+
+    p = sub.add_parser(
+        "report", help="trajectory summary of the recorded history"
+    )
+    p.add_argument(
+        "--bench", action="append", metavar="NAME",
+        help="restrict to one bench (repeatable)",
+    )
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.set_defaults(fn=cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -89,6 +89,11 @@ def render_text(obs: AnyCollector, title: str = "observability") -> str:
         lines.append("gauges:")
         for name, value in metrics["gauges"].items():
             lines.append(f"  {name:<40s} {value:g}")
+    if obs.mem_peaks:
+        lines.append("mem peaks:")
+        for name in sorted(obs.mem_peaks):
+            kib = obs.mem_peaks[name] / 1024.0
+            lines.append(f"  {name:<40s} {kib:10.1f} KiB")
     return "\n".join(lines)
 
 
@@ -107,7 +112,9 @@ def obs_summary(obs: AnyCollector) -> dict[str, Any]:
 
     Phase wall times (flattened span paths), the cover-cache hit rate
     and the pruning-related counters — the headline observability
-    numbers an analyst wants without reading a full trace.
+    numbers an analyst wants without reading a full trace. When the
+    run profiled memory (``ExploreConfig(profile_memory=True)``) a
+    ``mem_peaks`` section (peak bytes per span path) is included.
     """
     counters = {k: obs.counters[k] for k in sorted(obs.counters)} if obs.enabled else {}
     pruning = {
@@ -115,10 +122,15 @@ def obs_summary(obs: AnyCollector) -> dict[str, Any]:
         for k, v in counters.items()
         if "pruned" in k or k.startswith("polarity.")
     }
-    return {
+    summary: dict[str, Any] = {
         "phases": obs.phase_seconds(),
         "cache_hit_rate": cache_hit_rate(obs),
         "candidates": obs.counter("mining.candidates"),
         "frequent_itemsets": obs.counter("mining.frequent_itemsets"),
         "pruning": pruning,
     }
+    if obs.mem_peaks:
+        summary["mem_peaks"] = {
+            k: obs.mem_peaks[k] for k in sorted(obs.mem_peaks)
+        }
+    return summary

@@ -35,6 +35,7 @@ from repro.obs import (
     render_text,
     resolve_obs,
     trace_payload,
+    trim_spans,
     validate_bench_payload,
     write_bench_json,
     write_metrics,
@@ -387,3 +388,231 @@ class TestVerboseReport:
         )
         text = exploration_report(result, verbose=True)
         assert "disabled" in text
+
+
+class TestMergeCountersEdgeCases:
+    """Worker-dict merge semantics the parallel fan-out relies on."""
+
+    def test_nested_dotted_keys_merge_independently(self):
+        obs = ObsCollector()
+        obs.count("mining.frequent.level_1", 2)
+        obs.merge_counters({
+            "mining.frequent.level_1": 3,
+            "mining.frequent.level_2": 5,
+            "mining.frequent.level_10": 1,
+        })
+        assert obs.counters["mining.frequent.level_1"] == 5
+        assert obs.counters["mining.frequent.level_2"] == 5
+        assert obs.counters["mining.frequent.level_10"] == 1
+
+    def test_zero_count_entries_survive_the_merge(self):
+        obs = ObsCollector()
+        obs.merge_counters({"mining.support_pruned": 0})
+        assert obs.counters == {"mining.support_pruned": 0}
+        assert obs.counter("mining.support_pruned") == 0
+        obs.merge_counters({"mining.support_pruned": 0})
+        assert obs.counters["mining.support_pruned"] == 0
+
+    def test_disjoint_worker_dicts_concatenate(self):
+        obs = ObsCollector()
+        obs.merge_counters({"a.x": 1})
+        obs.merge_counters({"b.y": 2})
+        obs.merge_counters({})
+        assert obs.counters == {"a.x": 1, "b.y": 2}
+
+    def test_merge_order_invariant(self):
+        shards = [{"k": 1, "a": 2}, {"k": 3}, {"b": 4, "k": 0}]
+        forward, backward = ObsCollector(), ObsCollector()
+        for d in shards:
+            forward.merge_counters(d)
+        for d in reversed(shards):
+            backward.merge_counters(d)
+        assert forward.counters == backward.counters
+
+
+class TestSpanTreesUnderExceptions:
+    def test_deep_raise_closes_every_open_span(self):
+        obs = ObsCollector()
+        with pytest.raises(ValueError):
+            with obs.span("outer"):
+                with obs.span("middle"):
+                    with obs.span("inner"):
+                        raise ValueError("deep boom")
+        assert obs.current_span() is None
+        (root,) = obs.roots
+        assert [s.name for s in root.walk()] == ["outer", "middle", "inner"]
+        assert all(s.elapsed_seconds >= 0.0 for s in root.walk())
+
+    def test_partial_tree_serializes_after_exception(self):
+        obs = ObsCollector()
+        with obs.span("survivor"):
+            pass
+        with pytest.raises(RuntimeError):
+            with obs.span("doomed"):
+                with obs.span("child"):
+                    raise RuntimeError("boom")
+        trace = trace_payload(obs)
+        assert [s["name"] for s in trace["spans"]] == ["survivor", "doomed"]
+        payload = bench_payload("x", obs=obs, config={})
+        assert validate_bench_payload(payload) == []
+        assert set(obs.phase_seconds()) == {
+            "survivor", "doomed", "doomed.child",
+        }
+
+    def test_sibling_span_can_open_after_exception(self):
+        obs = ObsCollector()
+        with obs.span("root"):
+            try:
+                with obs.span("bad"):
+                    raise KeyError("x")
+            except KeyError:
+                pass
+            with obs.span("good"):
+                pass
+        (root,) = obs.roots
+        assert [c.name for c in root.children] == ["bad", "good"]
+
+
+class TestTrimSpans:
+    def deep_obs(self):
+        obs = ObsCollector()
+        with obs.span("a"):
+            with obs.span("b"):
+                with obs.span("c"):
+                    with obs.span("d"):
+                        pass
+                with obs.span("c2"):
+                    pass
+        return obs
+
+    def test_depth_one_keeps_roots_and_accounts_for_the_rest(self):
+        obs = self.deep_obs()
+        trimmed = trim_spans(obs.trace_dict(), 1)
+        (root,) = trimmed
+        assert root["name"] == "a"
+        assert "children" not in root
+        assert root["children_dropped"] == 4  # b, c, c2, d
+        assert root["children_seconds"] == pytest.approx(
+            obs.roots[0].children[0].elapsed_seconds
+        )
+
+    def test_depth_two_trims_grandchildren(self):
+        trimmed = trim_spans(self.deep_obs().trace_dict(), 2)
+        b = trimmed[0]["children"][0]
+        assert b["name"] == "b"
+        assert "children" not in b
+        assert b["children_dropped"] == 3  # c, d, c2
+
+    def test_deep_enough_depth_is_identity(self):
+        spans = self.deep_obs().trace_dict()
+        assert trim_spans(spans, 10) == spans
+
+    def test_rejects_nonpositive_depth(self):
+        with pytest.raises(ValueError):
+            trim_spans([], 0)
+
+    def test_bench_payload_records_depth_and_validates(self):
+        obs = self.deep_obs()
+        payload = bench_payload("x", obs=obs, config={}, max_span_depth=2)
+        assert payload["max_span_depth"] == 2
+        assert validate_bench_payload(payload) == []
+        # Trimming only drops trace detail, never phase totals.
+        assert set(payload["phases"]) == {
+            "a", "a.b", "a.b.c", "a.b.c.d", "a.b.c2",
+        }
+
+
+class TestMemoryProfiling:
+    def mined_with(self, universe, profile, n_jobs=1):
+        obs = ObsCollector(profile_memory=profile)
+        try:
+            with obs.span("mine"):
+                mined = mine(universe, 0.05, "bitset", n_jobs=n_jobs, obs=obs)
+        finally:
+            obs.stop_memory_profiling()
+        return mined, obs
+
+    def test_results_identical_with_profiling_on(self, universe):
+        mined_off, _ = self.mined_with(universe, False)
+        mined_on, obs = self.mined_with(universe, True)
+        assert mined_signature(mined_on) == mined_signature(mined_off)
+        assert obs.profile_memory is False  # stopped in mined_with
+        assert obs.mem_peaks  # but the peaks survive the stop
+        assert all(
+            isinstance(v, int) and v >= 0 for v in obs.mem_peaks.values()
+        )
+
+    def test_peaks_recorded_per_span_path(self, universe):
+        _, obs = self.mined_with(universe, True)
+        assert "mine" in obs.mem_peaks
+        assert "mine.bitset" in obs.mem_peaks
+        # A parent's peak is at least its child's (high-water nesting).
+        assert obs.mem_peaks["mine"] >= obs.mem_peaks["mine.bitset"]
+
+    def test_span_attrs_carry_peak_bytes(self, universe):
+        _, obs = self.mined_with(universe, True)
+        (root,) = obs.roots
+        assert root.attrs["mem_peak_bytes"] >= 0
+        assert all("mem_peak_bytes" in s.attrs for s in root.walk())
+
+    def test_rss_gauge_recorded_at_root_close(self, universe):
+        _, obs = self.mined_with(universe, True)
+        rss = obs.gauges.get("mem.rss_max_kb")
+        if rss is not None:  # resource module present (POSIX)
+            assert rss > 0
+
+    @pytest.mark.parametrize("n_jobs", [1, 4])
+    def test_parallel_runs_merge_worker_peaks(self, universe, n_jobs):
+        mined, obs = self.mined_with(universe, True, n_jobs=n_jobs)
+        serial_mined, _ = self.mined_with(universe, False)
+        assert mined_signature(mined) == mined_signature(serial_mined)
+        assert obs.mem_peaks["mine"] >= 0
+        if n_jobs > 1:
+            # Worker shards report their own span path, max-merged in.
+            assert "mine.shard" in obs.mem_peaks
+
+    def test_merge_peaks_takes_the_max(self):
+        obs = ObsCollector()
+        obs.record_peak("p", 100)
+        obs.merge_peaks({"p": 70, "q": 5})
+        obs.merge_peaks({"p": 300})
+        assert obs.mem_peaks == {"p": 300, "q": 5}
+
+    def test_null_collector_is_inert(self):
+        assert NULL_OBS.profile_memory is False
+        assert NULL_OBS.mem_peaks == {}
+        NULL_OBS.enable_memory_profiling()
+        NULL_OBS.record_peak("x", 10)
+        NULL_OBS.merge_peaks({"x": 10})
+        NULL_OBS.stop_memory_profiling()
+        assert NULL_OBS.mem_peaks == {}
+        assert NULL_OBS.profile_memory is False
+
+    def test_config_enables_profiling_on_the_collector(self):
+        obs = ObsCollector()
+        try:
+            config = ExploreConfig(obs=obs, profile_memory=True)
+            assert obs.profile_memory is True
+            assert "profile_memory" not in config.to_dict()
+            assert config.fingerprint() == ExploreConfig().fingerprint()
+        finally:
+            obs.stop_memory_profiling()
+
+    def test_bench_payload_and_summary_carry_mem_peaks(self, universe):
+        _, obs = self.mined_with(universe, True)
+        payload = bench_payload("x", obs=obs, config={})
+        assert validate_bench_payload(payload) == []
+        assert payload["mem_peaks"] == {
+            k: obs.mem_peaks[k] for k in sorted(obs.mem_peaks)
+        }
+        summary = obs_summary(obs)
+        assert summary["mem_peaks"] == payload["mem_peaks"]
+        assert "mem peaks:" in render_text(obs)
+
+    def test_unprofiled_payload_omits_mem_sections(self):
+        obs = ObsCollector()
+        with obs.span("x"):
+            pass
+        payload = bench_payload("x", obs=obs, config={})
+        assert "mem_peaks" not in payload
+        assert "mem_peaks" not in obs_summary(obs)

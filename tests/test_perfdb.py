@@ -1,0 +1,339 @@
+"""Tests for ``repro.obs.perfdb`` — history store and regression gate.
+
+Covers the record/ingest roundtrip, baseline selection (fingerprint +
+hostname keying, warmup discard, windowing), the noise-tolerant
+regression verdicts (the acceptance contract: a synthetic 2× slowdown
+fails the gate, an identical re-run passes), torn-write tolerance of
+the JSONL log, the trajectory report, and the CLI exit codes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.bench import config_fingerprint
+from repro.obs.perfdb import (
+    DEFAULT_HISTORY_DIR,
+    PERFDB_REPORT_SCHEMA,
+    PERFDB_SCHEMA,
+    GatePolicy,
+    append_record,
+    bench_trajectory,
+    compare_payload,
+    current_git_sha,
+    history_path,
+    list_benches,
+    load_history,
+    main,
+    record_from_payload,
+    record_payload,
+    render_report_text,
+    report_payload,
+    select_baseline,
+    validate_record,
+)
+
+CONFIG = {"dataset": "synthetic-peak", "support": 0.05}
+
+
+def make_payload(phases=None, name="fig2", config=None):
+    cfg = dict(CONFIG if config is None else config)
+    return {
+        "schema": "repro.obs/bench@2",
+        "name": name,
+        "config": cfg,
+        "config_fingerprint": config_fingerprint(cfg),
+        "phases": dict(phases or {"mine": 0.10, "discretize": 0.02}),
+        "counters": {"mining.candidates": 10},
+        "gauges": {"universe.items": 9.0},
+        "trace": [],
+    }
+
+
+def seed_history(tmp_path, n=4, phases=None, hostname="testhost", **kwargs):
+    payload = make_payload(phases=phases, **kwargs)
+    for i in range(n):
+        record_payload(
+            tmp_path, payload, git_sha=f"sha{i}", hostname=hostname,
+            recorded_at=f"2026-08-0{i + 1}T00:00:00+00:00",
+        )
+    return payload
+
+
+class TestRecords:
+    def test_record_from_payload_roundtrip(self, tmp_path):
+        payload = make_payload()
+        record = record_from_payload(
+            payload, git_sha="abc", hostname="h", recorded_at="t"
+        )
+        assert record["schema"] == PERFDB_SCHEMA
+        assert record["bench"] == "fig2"
+        assert record["config_fingerprint"] == payload["config_fingerprint"]
+        assert record["phases"] == payload["phases"]
+        assert validate_record(record) == []
+        path = append_record(tmp_path, record)
+        assert path == history_path(tmp_path, "fig2")
+        assert load_history(tmp_path, "fig2") == [record]
+
+    def test_metadata_defaults_filled_from_environment(self):
+        record = record_from_payload(make_payload())
+        assert record["git_sha"]
+        assert record["hostname"]
+        assert record["recorded_at"]
+
+    def test_invalid_payload_rejected(self):
+        bad = make_payload()
+        bad["phases"] = {"mine": -1.0}
+        with pytest.raises(ValueError, match="invalid bench payload"):
+            record_from_payload(bad)
+
+    def test_invalid_record_rejected_on_append(self, tmp_path):
+        record = record_from_payload(make_payload(), git_sha="a", hostname="h")
+        record["config_fingerprint"] = "short"
+        with pytest.raises(ValueError, match="invalid perfdb record"):
+            append_record(tmp_path, record)
+
+    def test_bench_name_cannot_escape_the_history_dir(self, tmp_path):
+        for name in ("", "../evil", ".hidden"):
+            with pytest.raises(ValueError):
+                history_path(tmp_path, name)
+
+    def test_appends_accumulate_in_order(self, tmp_path):
+        seed_history(tmp_path, n=3)
+        shas = [r["git_sha"] for r in load_history(tmp_path, "fig2")]
+        assert shas == ["sha0", "sha1", "sha2"]
+
+    def test_torn_lines_are_skipped(self, tmp_path):
+        seed_history(tmp_path, n=2)
+        path = history_path(tmp_path, "fig2")
+        with path.open("a") as fh:
+            fh.write('{"schema": "repro.obs/perfdb@1", "bench": tr\n')
+            fh.write("\n")
+            fh.write('{"schema": "something-else@9"}\n')
+        assert len(load_history(tmp_path, "fig2")) == 2
+
+    def test_list_benches_sorted(self, tmp_path):
+        seed_history(tmp_path, name="zeta")
+        seed_history(tmp_path, name="alpha")
+        assert list_benches(tmp_path) == ["alpha", "zeta"]
+        assert list_benches(tmp_path / "missing") == []
+
+    def test_current_git_sha_in_repo_and_outside(self, tmp_path):
+        assert current_git_sha() != "unknown"
+        assert current_git_sha(cwd=tmp_path) == "unknown"
+
+
+class TestBaselineSelection:
+    def records(self, fingerprints, hosts=None):
+        hosts = hosts or ["h"] * len(fingerprints)
+        return [
+            {"config_fingerprint": fp, "hostname": host, "phases": {"p": 0.1}}
+            for fp, host in zip(fingerprints, hosts)
+        ]
+
+    def test_filters_by_fingerprint_and_host(self):
+        records = self.records(
+            ["aa", "aa", "bb", "aa"], hosts=["h", "other", "h", "h"]
+        )
+        policy = GatePolicy(warmup=0)
+        picked = select_baseline(records, "aa", "h", policy)
+        assert picked == [records[0], records[3]]
+        any_host = GatePolicy(warmup=0, any_host=True)
+        assert len(select_baseline(records, "aa", "h", any_host)) == 3
+
+    def test_warmup_discards_earliest_but_never_all(self):
+        records = self.records(["aa"] * 3)
+        assert select_baseline(records, "aa", "h", GatePolicy(warmup=1)) == records[1:]
+        # A single matching record survives even warmup >= len.
+        one = self.records(["aa"])
+        assert select_baseline(one, "aa", "h", GatePolicy(warmup=5)) == one
+
+    def test_window_keeps_only_the_most_recent(self):
+        records = self.records(["aa"] * 10)
+        policy = GatePolicy(window=3, warmup=0)
+        assert select_baseline(records, "aa", "h", policy) == records[-3:]
+
+
+class TestRegressionGate:
+    """The acceptance contract for ``perfdb gate``."""
+
+    def test_identical_rerun_passes(self, tmp_path):
+        payload = seed_history(tmp_path)
+        comparison = compare_payload(
+            payload, load_history(tmp_path, "fig2"), hostname="testhost"
+        )
+        assert comparison.ok
+        assert {r.status for r in comparison.rows} == {"ok"}
+
+    def test_synthetic_2x_slowdown_fails(self, tmp_path):
+        seed_history(tmp_path, phases={"mine": 0.5, "discretize": 0.3})
+        slow = make_payload(phases={"mine": 1.0, "discretize": 0.3})
+        comparison = compare_payload(
+            slow, load_history(tmp_path, "fig2"), hostname="testhost"
+        )
+        assert not comparison.ok
+        (regression,) = comparison.regressions
+        assert regression.phase == "mine"
+        assert regression.ratio == pytest.approx(2.0)
+
+    def test_tiny_phases_never_regress_on_jitter(self, tmp_path):
+        # 3x relative blowup, but well under the absolute threshold.
+        seed_history(tmp_path, phases={"encode": 0.001})
+        jitter = make_payload(phases={"encode": 0.003})
+        comparison = compare_payload(
+            jitter, load_history(tmp_path, "fig2"), hostname="testhost"
+        )
+        assert comparison.ok
+
+    def test_improvement_is_flagged_but_passes(self, tmp_path):
+        seed_history(tmp_path, phases={"mine": 1.0})
+        fast = make_payload(phases={"mine": 0.2})
+        comparison = compare_payload(
+            fast, load_history(tmp_path, "fig2"), hostname="testhost"
+        )
+        assert comparison.ok
+        assert comparison.rows[0].status == "improved"
+
+    def test_insufficient_history_passes(self, tmp_path):
+        seed_history(tmp_path, n=2)  # warmup=1 leaves a single sample
+        slow = make_payload(phases={"mine": 10.0, "discretize": 10.0})
+        comparison = compare_payload(
+            slow, load_history(tmp_path, "fig2"), hostname="testhost"
+        )
+        assert comparison.ok
+        assert {r.status for r in comparison.rows} == {"insufficient-history"}
+
+    def test_new_phase_passes(self, tmp_path):
+        seed_history(tmp_path)
+        payload = make_payload(
+            phases={"mine": 0.10, "discretize": 0.02, "brand.new": 9.0}
+        )
+        comparison = compare_payload(
+            payload, load_history(tmp_path, "fig2"), hostname="testhost"
+        )
+        assert comparison.ok
+        by_phase = {r.phase: r.status for r in comparison.rows}
+        assert by_phase["brand.new"] == "new"
+
+    def test_other_hosts_history_is_ignored(self, tmp_path):
+        seed_history(tmp_path, phases={"mine": 0.01}, hostname="fast-box")
+        slow = make_payload(phases={"mine": 5.0})
+        comparison = compare_payload(
+            slow, load_history(tmp_path, "fig2"), hostname="slow-box"
+        )
+        assert comparison.ok  # no matching baseline -> "new"
+        crosshost = compare_payload(
+            slow, load_history(tmp_path, "fig2"),
+            GatePolicy(any_host=True), hostname="slow-box",
+        )
+        assert not crosshost.ok
+
+    def test_config_change_resets_the_baseline(self, tmp_path):
+        seed_history(tmp_path, phases={"mine": 0.01})
+        other = make_payload(phases={"mine": 5.0}, config={"support": 0.5})
+        comparison = compare_payload(
+            other, load_history(tmp_path, "fig2"), hostname="testhost"
+        )
+        assert comparison.ok
+        assert comparison.n_baseline == 0
+
+    def test_comparison_payload_and_text(self, tmp_path):
+        seed_history(tmp_path)
+        comparison = compare_payload(
+            make_payload(), load_history(tmp_path, "fig2"),
+            hostname="testhost",
+        )
+        d = comparison.to_dict()
+        assert d["schema"] == PERFDB_REPORT_SCHEMA
+        assert d["ok"] is True
+        assert {p["phase"] for p in d["phases"]} == {"mine", "discretize"}
+        json.dumps(d)  # must be JSON-serializable
+        text = comparison.render_text()
+        assert "PASS" in text and "mine" in text
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            GatePolicy(window=0)
+        with pytest.raises(ValueError):
+            GatePolicy(warmup=-1)
+        with pytest.raises(ValueError):
+            GatePolicy(rel_threshold=-0.1)
+
+
+class TestReport:
+    def test_trajectory_stats(self, tmp_path):
+        seed_history(tmp_path, n=3, phases={"mine": 0.2, "encode": 0.1})
+        t = bench_trajectory(load_history(tmp_path, "fig2"))
+        assert t["records"] == 3
+        assert t["hosts"] == ["testhost"]
+        assert t["last_git_sha"] == "sha2"
+        assert t["total_seconds_latest"] == pytest.approx(0.3)
+        assert t["total_seconds_median"] == pytest.approx(0.3)
+
+    def test_report_payload_and_text(self, tmp_path):
+        seed_history(tmp_path, name="alpha")
+        seed_history(tmp_path, name="beta")
+        report = report_payload(tmp_path)
+        assert report["schema"] == PERFDB_REPORT_SCHEMA
+        assert sorted(report["benches"]) == ["alpha", "beta"]
+        text = render_report_text(report)
+        assert "alpha" in text and "beta" in text
+        empty = render_report_text(report_payload(tmp_path / "none"))
+        assert "(no history)" in empty
+
+
+class TestCli:
+    def write_payload(self, tmp_path, payload):
+        path = tmp_path / f"BENCH_{payload['name']}.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def run(self, tmp_path, *argv):
+        return main(["--history", str(tmp_path / "history"), *argv])
+
+    def test_record_then_gate_passes_and_records(self, tmp_path, capsys):
+        pj = self.write_payload(tmp_path, make_payload())
+        for _ in range(4):
+            assert self.run(tmp_path, "record", pj, "--hostname", "h") == 0
+        rc = self.run(tmp_path, "gate", pj, "--hostname", "h", "--record")
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert len(load_history(tmp_path / "history", "fig2")) == 5
+
+    def test_gate_fails_on_regression(self, tmp_path, capsys):
+        pj = self.write_payload(tmp_path, make_payload())
+        for _ in range(4):
+            self.run(tmp_path, "record", pj, "--hostname", "h")
+        slow = make_payload(phases={"mine": 1.0, "discretize": 0.02})
+        sj = self.write_payload(tmp_path, dict(slow, name="fig2"))
+        assert self.run(tmp_path, "gate", sj, "--hostname", "h") == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_compare_json_output(self, tmp_path, capsys):
+        pj = self.write_payload(tmp_path, make_payload())
+        self.run(tmp_path, "record", pj, "--hostname", "h")
+        capsys.readouterr()  # drop the record line
+        assert self.run(tmp_path, "compare", pj, "--format", "json") == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["schema"] == PERFDB_REPORT_SCHEMA
+
+    def test_report_text_and_bench_filter(self, tmp_path, capsys):
+        pj = self.write_payload(tmp_path, make_payload())
+        self.run(tmp_path, "record", pj)
+        assert self.run(tmp_path, "report", "--bench", "fig2") == 0
+        assert "fig2" in capsys.readouterr().out
+        with pytest.raises(SystemExit):
+            self.run(tmp_path, "report", "--bench", "nonexistent")
+
+    def test_invalid_payload_exits_loudly(self, tmp_path):
+        bad = make_payload()
+        bad["config_fingerprint"] = "mismatch-fingerp"
+        bj = self.write_payload(tmp_path, bad)
+        with pytest.raises(SystemExit, match="invalid bench payload"):
+            self.run(tmp_path, "record", bj)
+
+    def test_default_history_dir_constant(self):
+        assert DEFAULT_HISTORY_DIR == "benchmark_results/history"

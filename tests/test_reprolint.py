@@ -501,3 +501,55 @@ class TestCli:
             )
         assert exc.value.code == 2
         capsys.readouterr()
+
+
+class TestWallClockDatetime:
+    def test_flags_datetime_now_and_friends(self):
+        src = """\
+        import datetime
+        a = datetime.datetime.now()
+        b = datetime.datetime.utcnow()
+        c = datetime.date.today()
+        """
+        assert codes(src) == ["RPL014", "RPL014", "RPL014"]
+
+    def test_flags_from_import_spelling(self):
+        src = """\
+        from datetime import datetime
+        stamp = datetime.now()
+        """
+        assert codes(src) == ["RPL014"]
+
+    def test_flags_aliased_import_that_would_dodge_the_match(self):
+        src = "from datetime import datetime as dt\n"
+        assert codes(src) == ["RPL014"]
+
+    def test_constructing_datetimes_is_fine(self):
+        src = """\
+        from datetime import datetime, timezone, timedelta
+        epoch = datetime(1970, 1, 1, tzinfo=timezone.utc)
+        later = epoch + timedelta(seconds=5)
+        parsed = datetime.fromisoformat("2026-01-01T00:00:00")
+        """
+        assert codes(src) == []
+
+    def test_perf_counter_is_the_blessed_timer(self):
+        src = """\
+        import time
+        start = time.perf_counter()
+        elapsed = time.perf_counter() - start
+        """
+        assert codes(src) == []
+
+    def test_scoped_to_library_code(self):
+        src = "from datetime import datetime\nx = datetime.now()\n"
+        assert codes(src, path="benchmarks/bench_x.py") == []
+        assert codes(src, path="tests/test_x.py") == []
+
+    def test_suppressible_for_metadata_timestamps(self):
+        src = (
+            "from datetime import datetime, timezone\n"
+            "# reprolint: disable-next-line=RPL014\n"
+            "stamp = datetime.now(timezone.utc).isoformat()\n"
+        )
+        assert codes(src) == []
