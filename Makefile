@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-json lint-baseline verify bench bench-smoke obs-smoke perf-gate perf-report bench-engine
+.PHONY: test lint lint-json lint-baseline verify bench bench-smoke obs-smoke perf-gate perf-report bench-engine sweep-bench
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -32,6 +32,9 @@ perf-report:
 
 bench-engine:
 	$(PYTHON) -m pytest benchmarks/bench_bitset_engine.py -q
+
+sweep-bench:
+	$(PYTHON) -m pytest benchmarks/bench_sweep.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

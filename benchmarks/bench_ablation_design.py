@@ -8,7 +8,6 @@
 import numpy as np
 from conftest import run_once
 
-from repro.core.discretize import TreeDiscretizer
 from repro.core.explorer import DivExplorer
 from repro.core.hexplorer import HDivExplorer
 from repro.core.mining.generalized import generalized_universe
@@ -80,8 +79,7 @@ def test_split_candidate_cap(benchmark, emit, peak_ctx):
 def test_root_items_are_overhead(benchmark, emit, compas_ctx):
     """Mining with hierarchy roots included: same max |Δ|, more work."""
     ctx = compas_ctx
-    discretizer = TreeDiscretizer(0.1, criterion="divergence")
-    gamma = discretizer.hierarchy_set(ctx.features, ctx.outcomes)
+    gamma = ctx.session().hierarchies(0.1, "divergence")
 
     def run():
         out = {}

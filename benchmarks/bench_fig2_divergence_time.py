@@ -54,6 +54,7 @@ def _drilldown(obs, ctx):
     universe = generalized_universe(
         ctx.features, ctx.outcomes, gamma, obs=obs
     )
+    # reprolint: disable-next-line=RPL015 (drilldown probes the engine's LRU directly)
     engine = BitsetEngine(universe, obs=obs)
     mined = mine(
         universe, PARITY_SUPPORT, "bitset", engine=engine, obs=obs

@@ -19,6 +19,7 @@ from repro.core import (
     CategoricalItem,
     ExploreConfig,
     DivExplorer,
+    ExploreSession,
     HDivExplorer,
     HierarchySet,
     IntervalItem,
@@ -28,7 +29,10 @@ from repro.core import (
     Outcome,
     ResultSet,
     SubgroupResult,
+    SweepPoint,
+    SweepResult,
     accuracy_outcome,
+    coerce_outcome,
     error_difference,
     error_rate,
     false_negative_rate,
@@ -48,6 +52,7 @@ __all__ = [
     "CategoricalItem",
     "ExploreConfig",
     "DivExplorer",
+    "ExploreSession",
     "HDivExplorer",
     "HierarchySet",
     "IntervalItem",
@@ -57,9 +62,12 @@ __all__ = [
     "Outcome",
     "ResultSet",
     "SubgroupResult",
+    "SweepPoint",
+    "SweepResult",
     "Table",
     "TreeDiscretizer",
     "accuracy_outcome",
+    "coerce_outcome",
     "error_difference",
     "error_rate",
     "false_negative_rate",

@@ -21,7 +21,7 @@ import numpy as np
 from repro.core.config import ExploreConfig, resolve_config
 from repro.core.discretize.combined import CombinedTreeDiscretizer
 from repro.core.items import Itemset
-from repro.core.outcomes import Outcome
+from repro.core.outcomes import Outcome, coerce_outcome
 from repro.tabular import Table
 
 
@@ -88,10 +88,7 @@ class ErrorTree:
         Leaves are ranked by |divergence| of the loss. The returned
         subgroups are non-overlapping by construction.
         """
-        if isinstance(outcome, Outcome):
-            outcomes = outcome.values(table)
-        else:
-            outcomes = np.asarray(outcome, dtype=np.float64)
+        outcomes = coerce_outcome(outcome).values(table)
         global_mean = float(np.nanmean(outcomes))
         root = self._discretizer.fit(table, outcomes, attributes)
         results = []

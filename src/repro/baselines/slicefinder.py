@@ -22,7 +22,7 @@ import numpy as np
 from repro.core.config import ExploreConfig, resolve_config
 from repro.core.items import Item, Itemset
 from repro.core.mining.transactions import EncodedUniverse
-from repro.core.outcomes import Outcome
+from repro.core.outcomes import Outcome, coerce_outcome
 from repro.tabular import Table
 
 
@@ -115,7 +115,9 @@ class SliceFinder:
         in loss statistics but still count toward slice size). Returns
         problematic slices sorted by size, largest first.
         """
-        universe = EncodedUniverse.from_table(table, list(items), outcome)
+        universe = EncodedUniverse.from_table(
+            table, list(items), coerce_outcome(outcome)
+        )
         loss = universe.outcomes
         defined = ~np.isnan(loss)
 

@@ -27,7 +27,7 @@ import numpy as np
 from repro.core.config import ExploreConfig, resolve_config
 from repro.core.items import Item, Itemset
 from repro.core.mining.transactions import EncodedUniverse
-from repro.core.outcomes import Outcome
+from repro.core.outcomes import Outcome, coerce_outcome
 from repro.tabular import Table
 
 
@@ -99,7 +99,9 @@ class SliceLine:
         ``outcome`` provides the per-instance error (⊥ rows do not
         contribute to error averages).
         """
-        universe = EncodedUniverse.from_table(table, list(items), outcome)
+        universe = EncodedUniverse.from_table(
+            table, list(items), coerce_outcome(outcome)
+        )
         n = universe.n_rows
         min_count = max(1, math.ceil(self.min_support * n))
         errors = universe.outcomes

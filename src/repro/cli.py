@@ -20,6 +20,12 @@ Usage examples::
     # show the discretization hierarchy of one attribute
     python -m repro.cli discretize data.csv --attribute age \\
         --kind error --y-true label --y-pred pred
+
+    # sweep one knob over a warm ExploreSession (artifacts cached
+    # across the points; discretization/encoding happen once)
+    python -m repro.cli sweep data.csv --kind error \\
+        --y-true label --y-pred pred \\
+        --param min_support --values 0.05,0.1,0.15,0.2
 """
 
 from __future__ import annotations
@@ -29,10 +35,10 @@ import math
 import sys
 
 from repro.core.config import ExploreConfig
-from repro.core.discretize import TreeDiscretizer
 from repro.core.mining.transactions import BACKENDS
 from repro.core.explorer import DivExplorer
 from repro.core.hexplorer import HDivExplorer
+from repro.core.session import ExploreSession
 from repro.core.outcomes import (
     Outcome,
     accuracy_outcome,
@@ -148,14 +154,21 @@ def _write_obs(args, obs) -> None:
 
 
 def _explore_config(args, obs=None) -> ExploreConfig:
-    """The shared exploration configuration from parsed CLI flags."""
-    return ExploreConfig(
-        min_support=args.support,
-        tree_support=args.tree_support,
-        criterion=args.criterion,
-        backend=getattr(args, "backend", "fpgrowth"),
-        polarity=getattr(args, "polarity", False),
-        n_jobs=getattr(args, "n_jobs", 1),
+    """The shared exploration configuration from parsed CLI flags.
+
+    Routed through :meth:`ExploreConfig.from_dict` — the flag dict is
+    exactly a serialized config, so the CLI round-trips fingerprints
+    and a misspelled key raises instead of silently defaulting.
+    """
+    return ExploreConfig.from_dict(
+        {
+            "min_support": args.support,
+            "tree_support": args.tree_support,
+            "criterion": args.criterion,
+            "backend": getattr(args, "backend", "fpgrowth"),
+            "polarity": getattr(args, "polarity", False),
+            "n_jobs": getattr(args, "n_jobs", 1),
+        },
         obs=obs,
         profile_memory=getattr(args, "profile_memory", False) and obs is not None,
     )
@@ -184,14 +197,17 @@ def cmd_explore(args) -> int:
     obs = _build_obs(args)
     config = _explore_config(args, obs=obs)
     if args.base:
-        trees = TreeDiscretizer(
-            args.tree_support, criterion=args.criterion, obs=obs
-        ).fit_all(features, values)
+        session = ExploreSession(features, values, obs=obs)
         explorer = DivExplorer(config)
         result = explorer.explore(
             features,
             values,
-            continuous_items={a: t.leaf_items() for a, t in trees.items()},
+            continuous_items={
+                a: session.tree(
+                    a, args.tree_support, args.criterion
+                ).leaf_items()
+                for a in features.continuous_names
+            },
         )
         mode = "base (leaf items)"
     else:
@@ -254,10 +270,59 @@ def cmd_discretize(args) -> int:
         raise SystemExit(
             f"{args.attribute!r} is not a continuous column of {args.csv}"
         )
-    tree = TreeDiscretizer(
-        args.tree_support, criterion=args.criterion
-    ).fit(features, args.attribute, values)
+    session = ExploreSession(
+        features, values, continuous_attributes=[args.attribute]
+    )
+    tree = session.tree(args.attribute, args.tree_support, args.criterion)
     print(tree.render())
+    return 0
+
+
+_SWEEP_VALUE_PARSERS = {
+    "min_support": float,
+    "tree_support": float,
+    "n_jobs": int,
+}
+
+
+def _sweep_value(param: str, text: str):
+    """Parse one --values entry according to the swept parameter."""
+    if param == "max_length":
+        return None if text.lower() == "none" else int(text)
+    if param == "polarity":
+        return text.lower() in ("1", "true", "yes")
+    return _SWEEP_VALUE_PARSERS.get(param, str)(text)
+
+
+def cmd_sweep(args) -> int:
+    table = read_csv(args.csv)
+    outcome = _build_outcome(args)
+    values = outcome.values(table)
+    features = _feature_table(table, args)
+    obs = _build_obs(args)
+    config = _explore_config(args, obs=obs)
+    points = [_sweep_value(args.param, v) for v in args.values.split(",")]
+    with ExploreSession(features, values, obs=obs) as session:
+        sweep = session.sweep(args.param, points, config)
+    print(
+        f"sweep over {args.param}: {len(sweep)} points, "
+        f"{sweep.elapsed_seconds:.2f}s total"
+    )
+    for pt in sweep:
+        headline = pt.result.summary()
+        top = pt.result.to_rows(1, by=args.rank_by, min_t=args.min_t)
+        best = (
+            f"  best: {top[0]['itemset']}  Δ={top[0]['divergence']:+.3f}"
+            if top else "  (no subgroups)"
+        )
+        print(
+            f"{args.param}={pt.value}: "
+            f"{headline['n_subgroups']} subgroups, "
+            f"{pt.elapsed_seconds:.3f}s, "
+            f"cache {pt.cache_hits} hits / {pt.cache_misses} misses"
+        )
+        print(best)
+    _write_obs(args, obs)
     return 0
 
 
@@ -334,6 +399,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_explore_flags(p)
     p.set_defaults(fn=cmd_hexplore)
+
+    p = sub.add_parser(
+        "sweep",
+        help="explore once per value of one knob over a warm session",
+    )
+    add_explore_flags(p)
+    p.add_argument(
+        "--param", required=True,
+        choices=sorted(ExploreConfig().to_dict()),
+        help="the ExploreConfig field to vary",
+    )
+    p.add_argument(
+        "--values", required=True,
+        help="comma-separated values for --param (e.g. 0.05,0.1,0.2)",
+    )
+    p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser(
         "report", help="full divergence report for a CSV (hierarchical)"

@@ -23,6 +23,7 @@ from repro.core.items import CategoricalItem, IntervalItem, Item, Itemset
 from repro.core.outcomes import (
     Outcome,
     accuracy_outcome,
+    coerce_outcome,
     error_difference,
     error_rate,
     false_negative_rate,
@@ -34,11 +35,13 @@ from repro.core.outcomes import (
     true_positive_rate,
 )
 from repro.core.results import ResultSet, SubgroupResult
+from repro.core.session import ExploreSession, SweepPoint, SweepResult
 
 __all__ = [
     "CategoricalItem",
     "ExploreConfig",
     "DivExplorer",
+    "ExploreSession",
     "HDivExplorer",
     "HierarchySet",
     "IntervalItem",
@@ -48,7 +51,10 @@ __all__ = [
     "Outcome",
     "ResultSet",
     "SubgroupResult",
+    "SweepPoint",
+    "SweepResult",
     "accuracy_outcome",
+    "coerce_outcome",
     "error_difference",
     "error_rate",
     "false_negative_rate",

@@ -23,6 +23,7 @@ from __future__ import annotations
 import dataclasses
 import warnings
 from dataclasses import dataclass, field
+from typing import Iterable, Mapping
 
 from repro.core.mining.transactions import BACKENDS
 from repro.obs.collector import NULL_OBS, AnyCollector
@@ -122,6 +123,7 @@ class ExploreConfig:
         The ``obs`` collector and the ``profile_memory`` switch are
         excluded: neither changes results, so two configs that differ
         only in observability serialize (and fingerprint) identically.
+        ``from_dict`` is the exact inverse.
         """
         return {
             f.name: getattr(self, f.name)
@@ -129,14 +131,62 @@ class ExploreConfig:
             if f.name not in ("obs", "profile_memory")
         }
 
-    def fingerprint(self) -> str:
-        """Stable short hash of the result-affecting configuration."""
+    @classmethod
+    def from_dict(
+        cls,
+        data: "Mapping[str, object]",
+        *,
+        obs: AnyCollector | None = None,
+        profile_memory: bool = False,
+    ) -> "ExploreConfig":
+        """The exact inverse of :meth:`to_dict`.
+
+        Accepts any subset of the serialized fields (missing keys take
+        their defaults) and raises :class:`ValueError` on unknown keys —
+        a misspelled knob must not silently fall back to a default, or
+        the round-tripped fingerprint would lie. The observability
+        fields (``obs``, ``profile_memory``) are not part of the
+        serialized form and are supplied separately.
+        """
+        unknown = sorted(set(data) - _SERIALIZED_FIELDS)
+        if unknown:
+            raise ValueError(
+                f"unknown ExploreConfig keys: {unknown} "
+                f"(expected a subset of {sorted(_SERIALIZED_FIELDS)})"
+            )
+        return cls(obs=obs, profile_memory=profile_memory, **data)  # type: ignore[arg-type]
+
+    def fingerprint(self, keys: "Iterable[str] | None" = None) -> str:
+        """Stable short hash of the result-affecting configuration.
+
+        Insensitive to dict insertion order by construction: the hash
+        is taken over sorted-key canonical JSON. ``keys`` restricts the
+        hash to a subset of the serialized fields (a *sub-key*
+        fingerprint) — the session cache uses this to key artifacts by
+        exactly the parameters that can invalidate them (e.g. a
+        discretization fingerprint over ``("tree_support",
+        "criterion")`` that min_support changes cannot perturb).
+        """
         from repro.obs.bench import config_fingerprint
 
-        return config_fingerprint(self.to_dict())
+        data = self.to_dict()
+        if keys is not None:
+            wanted = list(keys)
+            unknown = sorted(set(wanted) - _SERIALIZED_FIELDS)
+            if unknown:
+                raise ValueError(
+                    f"unknown fingerprint keys: {unknown} "
+                    f"(expected a subset of {sorted(_SERIALIZED_FIELDS)})"
+                )
+            data = {name: data[name] for name in wanted}
+        return config_fingerprint(data)
 
 
 _FIELD_NAMES = frozenset(f.name for f in dataclasses.fields(ExploreConfig))
+
+#: The fields that appear in ``to_dict()`` / ``from_dict()`` — every
+#: result-affecting knob, excluding the observability pair.
+_SERIALIZED_FIELDS = frozenset(_FIELD_NAMES - {"obs", "profile_memory"})
 
 
 def resolve_config(

@@ -16,7 +16,7 @@ from repro.core.config import ExploreConfig, resolve_config
 from repro.core.items import Item
 from repro.core.mining.generalized import base_universe
 from repro.core.mining.transactions import EncodedUniverse, MinedItemset, mine
-from repro.core.outcomes import Outcome
+from repro.core.outcomes import Outcome, coerce_outcome
 from repro.core.polarity import mine_with_polarity
 from repro.core.results import ResultSet, SubgroupResult
 from repro.obs.collector import AnyCollector
@@ -29,13 +29,20 @@ def results_from_mined(
     elapsed_seconds: float,
     obs: AnyCollector | None = None,
 ) -> ResultSet:
-    """Convert mined id-itemsets into a ranked :class:`ResultSet`."""
+    """Convert mined id-itemsets into a ranked :class:`ResultSet`.
+
+    The results are put in canonical order (sorted id tuples), which
+    makes the ResultSet independent of the backend's emission order and
+    stable under support filtering — a warm `ExploreSession` replay and
+    a cold run produce bit-identical sets, in the same order.
+    """
     global_stats = universe.global_stats()
+    ordered = sorted(mined, key=lambda m: tuple(sorted(m.ids)))
     results = [
         SubgroupResult.from_stats(
             m.to_itemset(universe), m.stats, global_stats, universe.n_rows
         )
-        for m in mined
+        for m in ordered
     ]
     return ResultSet(results, global_stats, elapsed_seconds, obs=obs)
 
@@ -95,7 +102,10 @@ class DivExplorer:
         table:
             The dataset.
         outcome:
-            Outcome function (or precomputed per-row array).
+            Any form :func:`~repro.core.outcomes.coerce_outcome`
+            accepts: an :class:`Outcome`, a column name, a
+            ``(y_true, y_pred)`` pair of column names or arrays, or a
+            precomputed per-row array.
         continuous_items:
             Discretization items per continuous attribute (tree leaves,
             quantile bins, manual bins, ...). Continuous attributes
@@ -108,7 +118,7 @@ class DivExplorer:
         """
         universe = base_universe(
             table,
-            outcome,
+            coerce_outcome(outcome),
             continuous_items or {},
             categorical_attributes,
             extra_items,

@@ -23,7 +23,7 @@ from repro.core.discretize.tree import TreeDiscretizer
 from repro.core.hierarchy import HierarchySet, ItemHierarchy
 from repro.core.mining.generalized import generalized_universe
 from repro.core.mining.transactions import mine
-from repro.core.outcomes import Outcome
+from repro.core.outcomes import Outcome, coerce_outcome
 from repro.core.polarity import mine_with_polarity
 from repro.core.explorer import results_from_mined
 from repro.core.results import ResultSet
@@ -101,6 +101,7 @@ class HDivExplorer:
         attributes: Iterable[str] | None = None,
     ) -> HierarchySet:
         """Step 1: fit discretization trees for continuous attributes."""
+        outcome = coerce_outcome(outcome)
         discretizer = TreeDiscretizer(
             min_support=self.tree_support,
             criterion=self.criterion,
@@ -126,7 +127,10 @@ class HDivExplorer:
         table:
             The dataset.
         outcome:
-            Outcome function (or precomputed per-row array).
+            Any form :func:`~repro.core.outcomes.coerce_outcome`
+            accepts: an :class:`Outcome`, a column name, a
+            ``(y_true, y_pred)`` pair of column names or arrays, or a
+            precomputed per-row array.
         hierarchies:
             Predefined hierarchies (e.g. categorical taxonomies, or
             pre-built trees). Attributes covered here are not
@@ -138,6 +142,7 @@ class HDivExplorer:
             Categorical attributes included as flat value items when
             they have no hierarchy; defaults to all of them.
         """
+        outcome = coerce_outcome(outcome)
         gamma = HierarchySet()
         provided = (
             hierarchies if isinstance(hierarchies, HierarchySet)

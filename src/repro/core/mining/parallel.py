@@ -93,6 +93,61 @@ def prefix_shards(
     ]
 
 
+class WorkerPool:
+    """A persistent shard-mining pool bound to one engine.
+
+    Wraps a ``multiprocessing`` pool whose workers were initialized
+    with a (cache-cleared, collector-stripped) copy of ``engine`` —
+    exactly the state :func:`mine_parallel` ships per call, paid once
+    here instead. Pass it back into :func:`mine_parallel` (or
+    ``mine(..., pool=...)``) to serve repeated mining calls over the
+    same universe without respawning workers; `ExploreSession.sweep`
+    is the intended customer.
+
+    The pool only mines the universe its engine was built from —
+    shipping tasks for a different universe would silently mine the
+    wrong covers, so :func:`mine_parallel` cross-checks identity.
+    Close with :meth:`close` or use as a context manager.
+    """
+
+    def __init__(self, engine: BitsetEngine, n_jobs: int):
+        n_jobs = resolve_n_jobs(n_jobs)
+        if n_jobs == 1:
+            raise ValueError("a WorkerPool needs n_jobs != 1")
+        ctx = _pool_context()
+        engine.clear_cache()  # ship a lean engine to the workers
+        prev_obs = engine.obs
+        engine.obs = NULL_OBS  # collectors stay parent-side
+        try:
+            self._pool = ctx.Pool(
+                processes=n_jobs,
+                initializer=_init_worker,
+                initargs=(engine,),
+            )
+        finally:
+            engine.obs = prev_obs
+        self.engine = engine
+        self.n_jobs = n_jobs
+
+    def run(self, tasks: list) -> list:
+        """Mine the shard tasks; results come back in task order."""
+        return list(self._pool.imap(_mine_shard, tasks, chunksize=1))
+
+    def close(self) -> None:
+        """Terminate the workers (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        self.close()
+        return False
+
+
 def mine_parallel(
     universe: EncodedUniverse,
     min_support: float,
@@ -100,6 +155,7 @@ def mine_parallel(
     n_jobs: int = 2,
     engine: BitsetEngine | None = None,
     obs: AnyCollector | None = None,
+    pool: WorkerPool | None = None,
 ) -> list[MinedItemset]:
     """Mine all frequent itemsets with sharded worker processes.
 
@@ -114,9 +170,20 @@ def mine_parallel(
     merged ``mining.*`` totals are identical to a serial run. With
     memory profiling on, workers also return per-shard peak-allocation
     dicts, max-merged into the parent's ``mem_peaks`` registry.
+
+    A :class:`WorkerPool` passed via ``pool`` serves the shards from
+    its long-lived workers instead of spawning a fresh pool; its
+    engine must be the one mining this universe.
     """
     obs = resolve_obs(obs)
-    n_jobs = resolve_n_jobs(n_jobs)
+    n_jobs = resolve_n_jobs(pool.n_jobs if pool is not None else n_jobs)
+    if pool is not None:
+        if engine is None:
+            engine = pool.engine
+        elif engine is not pool.engine:
+            raise ValueError(
+                "mine_parallel: pool was built for a different engine"
+            )
     if engine is None:
         engine = BitsetEngine(universe, obs=obs)
     if n_jobs == 1:
@@ -137,19 +204,22 @@ def mine_parallel(
         (root, tail, min_support, max_length, collect, profile)
         for root, tail in shards
     ]
-    ctx = _pool_context()
-    engine.clear_cache()  # ship a lean engine to the workers
-    prev_obs = engine.obs
-    engine.obs = NULL_OBS  # collectors stay parent-side; workers bring their own
-    try:
-        with ctx.Pool(
-            processes=min(n_jobs, len(tasks)),
-            initializer=_init_worker,
-            initargs=(engine,),
-        ) as pool:
-            per_shard = list(pool.imap(_mine_shard, tasks, chunksize=1))
-    finally:
-        engine.obs = prev_obs
+    if pool is not None:
+        per_shard = pool.run(tasks)
+    else:
+        ctx = _pool_context()
+        engine.clear_cache()  # ship a lean engine to the workers
+        prev_obs = engine.obs
+        engine.obs = NULL_OBS  # collectors stay parent-side
+        try:
+            with ctx.Pool(
+                processes=min(n_jobs, len(tasks)),
+                initializer=_init_worker,
+                initargs=(engine,),
+            ) as fresh:
+                per_shard = list(fresh.imap(_mine_shard, tasks, chunksize=1))
+        finally:
+            engine.obs = prev_obs
     results: list[MinedItemset] = []
     for raw, counters, peaks in per_shard:
         results.extend(raw_to_mined(raw))

@@ -153,6 +153,7 @@ def mine(
     n_jobs: int = 1,
     engine=None,
     obs: AnyCollector | None = None,
+    pool=None,
 ) -> list[MinedItemset]:
     """Mine all frequent itemsets with the chosen backend.
 
@@ -183,6 +184,10 @@ def mine(
         ``mining.frequent_itemsets`` / ``mining.frequent.level_N``
         totals (counted here from the mined list, so they are
         identical for every backend and every ``n_jobs``).
+    pool:
+        Optional persistent :class:`repro.core.mining.parallel.WorkerPool`
+        serving the ``n_jobs != 1`` fan-out from long-lived workers
+        instead of spawning a pool per call (its ``n_jobs`` wins).
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown mining backend {backend!r}")
@@ -198,12 +203,12 @@ def mine(
     span = obs.span(backend, n_jobs=n_jobs, min_support=min_support)
     try:
         with span:
-            if n_jobs != 1:
+            if n_jobs != 1 or pool is not None:
                 from repro.core.mining.parallel import mine_parallel
 
                 mined = mine_parallel(
                     universe, min_support, max_length,
-                    n_jobs=n_jobs, engine=engine, obs=obs,
+                    n_jobs=n_jobs, engine=engine, obs=obs, pool=pool,
                 )
             elif backend == "fpgrowth":
                 from repro.core.mining.fpgrowth import mine_fpgrowth

@@ -12,6 +12,8 @@ probability ``k+ / (k+ + k-)`` of the paper.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.tabular import Table
@@ -264,6 +266,77 @@ def numeric_outcome(column: str, name: str | None = None) -> Outcome:
         return table.continuous(column).values
 
     return Outcome(name or column, fn, boolean=False)
+
+
+def _is_boolean_array(values: np.ndarray) -> bool:
+    """True when every defined entry is 0 or 1 (⊥ = NaN allowed)."""
+    defined = values[~np.isnan(values)]
+    return bool(
+        defined.size == 0
+        or np.all((defined == 0.0) | (defined == 1.0))
+    )
+
+
+def coerce_outcome(
+    outcome: "Outcome | str | np.ndarray | tuple | list",
+) -> Outcome:
+    """The one front door every explorer and baseline shares.
+
+    Normalizes the accepted outcome spellings to an :class:`Outcome`:
+
+    * an :class:`Outcome` — returned unchanged;
+    * a column name ``"income"`` — :func:`numeric_outcome` on it;
+    * a ``("y_true", "y_pred")`` pair of column names —
+      :func:`error_rate` (the misclassification outcome);
+    * a precomputed per-row numpy array — :func:`array_outcome`, with
+      ``boolean`` inferred (defined values all 0/1);
+    * a ``(y_true, y_pred)`` pair of per-row arrays — the per-row
+      misclassification indicator;
+    * a plain Python list/tuple of per-row values — still accepted, but
+      deprecated in favour of a numpy array or :func:`array_outcome`.
+    """
+    if isinstance(outcome, Outcome):
+        return outcome
+    if isinstance(outcome, str):
+        return numeric_outcome(outcome)
+    if isinstance(outcome, np.ndarray):
+        values = np.asarray(outcome, dtype=np.float64)
+        return array_outcome(values, boolean=_is_boolean_array(values))
+    if isinstance(outcome, (tuple, list)) and len(outcome) == 2:
+        first, second = outcome
+        if isinstance(first, str) and isinstance(second, str):
+            return error_rate(first, second)
+        if isinstance(first, np.ndarray) and isinstance(second, np.ndarray):
+            t = np.asarray(first, dtype=np.float64)
+            p = np.asarray(second, dtype=np.float64)
+            if t.shape != p.shape:
+                raise ValueError(
+                    f"(y_true, y_pred) arrays disagree in shape: "
+                    f"{t.shape} vs {p.shape}"
+                )
+            return array_outcome(
+                (t != p).astype(np.float64), name="error", boolean=True
+            )
+    if isinstance(outcome, (tuple, list)):
+        warnings.warn(
+            "passing a plain Python sequence as an outcome is "
+            "deprecated; pass a numpy array, an Outcome, a column "
+            "name, or a (y_true, y_pred) pair",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        values = np.asarray(outcome, dtype=np.float64)
+        if values.ndim != 1:
+            raise ValueError(
+                f"outcome sequence must be one-dimensional, "
+                f"got shape {values.shape}"
+            )
+        return array_outcome(values, boolean=_is_boolean_array(values))
+    raise TypeError(
+        f"cannot interpret {type(outcome).__name__} as an outcome; "
+        "expected an Outcome, a column name, a (y_true, y_pred) pair, "
+        "or a per-row numpy array"
+    )
 
 
 def array_outcome(

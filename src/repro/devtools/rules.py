@@ -1,4 +1,4 @@
-"""The reprolint rule catalogue (RPL001–RPL014).
+"""The reprolint rule catalogue (RPL001–RPL015).
 
 Each rule encodes one invariant the reproduction depends on —
 determinism across backends and ``n_jobs``, independence from the
@@ -77,6 +77,23 @@ WALLCLOCK_DATETIME_CALLS = {
 }
 
 _FLOAT_SENSITIVE = re.compile(r"(divergence|criteria|significance|polarity)")
+
+#: Pipeline internals that must be reached through the front doors
+#: (RPL015): the explorers, :class:`repro.core.session.ExploreSession`,
+#: or the ``mine()`` dispatcher. Constructing them directly skips the
+#: config resolution, canonical result ordering and session caching
+#: those layers guarantee. ``CombinedTreeDiscretizer`` (a baseline
+#: component, not a pipeline stage) and the ``mine()`` dispatcher
+#: itself stay callable.
+PIPELINE_INTERNAL_CALLS = {
+    "TreeDiscretizer",
+    "BitsetEngine",
+    "mine_fpgrowth",
+    "mine_apriori",
+    "mine_eclat",
+    "mine_bitset",
+    "mine_parallel",
+}
 
 
 def dotted_name(node: ast.AST) -> str | None:
@@ -622,3 +639,43 @@ class WallClockDatetimeRule(Rule):
                             f"{alias.asname}' hides wall-clock calls from "
                             f"this lint: import it unaliased"
                         )
+
+
+@register
+class PipelineInternalConstructionRule(Rule):
+    code = "RPL015"
+    name = "pipeline-internal-construction"
+    severity = Severity.ERROR
+    rationale = (
+        "TreeDiscretizer, BitsetEngine and the mine_* backends are "
+        "pipeline internals: the front doors (DivExplorer/HDivExplorer, "
+        "ExploreSession, the mine() dispatcher) own config resolution, "
+        "canonical result ordering and artifact caching. Direct "
+        "construction outside repro.core silently skips those "
+        "guarantees and drifts from the cold/warm bit-identity "
+        "contract."
+    )
+
+    def applies_to(self, path: str) -> bool:
+        # The internals may of course build each other; examples and
+        # tests exercise them deliberately.
+        return not (
+            path.startswith("src/repro/core/")
+            or path.startswith("tests/")
+            or path.startswith("examples/")
+        )
+
+    def check(self, ctx: ModuleContext) -> Iterator[tuple[ast.AST, str]]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            leaf = name.split(".")[-1]
+            if leaf in PIPELINE_INTERNAL_CALLS:
+                yield node, (
+                    f"direct {leaf}() construction outside repro.core: "
+                    f"go through ExploreSession / the explorers / the "
+                    f"mine() dispatcher instead"
+                )

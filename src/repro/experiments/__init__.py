@@ -14,14 +14,18 @@ from repro.experiments.harness import (
     run_hierarchical,
     run_manual,
 )
+from repro.experiments.sweeps import DEFAULT_SUPPORTS, support_sweep, sweep_rows
 from repro.experiments.tables import render_table
 
 __all__ = [
     "BENCH_SIZES",
+    "DEFAULT_SUPPORTS",
     "ExperimentContext",
     "load_context",
     "render_table",
     "run_base",
     "run_hierarchical",
     "run_manual",
+    "support_sweep",
+    "sweep_rows",
 ]

@@ -15,7 +15,6 @@ from typing import Sequence
 import numpy as np
 
 from repro.baselines import SliceFinder, SliceLine
-from repro.core.discretize import TreeDiscretizer
 from repro.core.items import IntervalItem, Itemset
 from repro.datasets import load_dataset
 from repro.experiments.harness import (
@@ -80,8 +79,7 @@ def table1(ctx: ExperimentContext | None = None):
 def figure1(ctx: ExperimentContext | None = None, tree_support: float = 0.1) -> str:
     """ASCII rendering of the #prior discretization tree."""
     ctx = ctx or load_context("compas")
-    discretizer = TreeDiscretizer(tree_support, criterion="divergence")
-    tree = discretizer.fit(ctx.features, "#prior", ctx.outcomes)
+    tree = ctx.session().tree("#prior", tree_support, "divergence")
     return tree.render()
 
 

@@ -15,11 +15,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.config import ExploreConfig
-from repro.core.discretize import TreeDiscretizer
 from repro.core.explorer import DivExplorer
 from repro.core.hexplorer import HDivExplorer
 from repro.core.items import Item
 from repro.core.results import ResultSet
+from repro.core.session import ExploreSession
 from repro.datasets import compas_manual_items, load_dataset
 from repro.datasets.base import Dataset
 from repro.obs.collector import AnyCollector
@@ -49,6 +49,7 @@ class ExperimentContext:
     features: Table
     outcomes: np.ndarray
     _tree_cache: dict = field(default_factory=dict, repr=False)
+    _session: ExploreSession | None = field(default=None, repr=False)
 
     @property
     def name(self) -> str:
@@ -57,6 +58,21 @@ class ExperimentContext:
     def global_mean(self) -> float:
         return float(np.nanmean(self.outcomes))
 
+    def session(self) -> ExploreSession:
+        """The context's warm :class:`ExploreSession` (built lazily).
+
+        One session per context, carrying the dataset's predefined
+        hierarchies; sweep experiments run on it so discretization,
+        encoding and mined counters are shared across points.
+        """
+        if self._session is None:
+            self._session = ExploreSession(
+                self.features,
+                self.outcomes,
+                hierarchies=self.dataset.hierarchies,
+            )
+        return self._session
+
     def leaf_items(
         self, tree_support: float, criterion: str
     ) -> dict[str, list[Item]]:
@@ -64,13 +80,14 @@ class ExperimentContext:
 
         Cached per (tree_support, criterion) — sweeps over the
         exploration support reuse the same trees, as in the paper.
+        The trees themselves come from the context's session cache.
         """
         key = (tree_support, criterion)
         if key not in self._tree_cache:
-            discretizer = TreeDiscretizer(tree_support, criterion=criterion)
-            trees = discretizer.fit_all(self.features, self.outcomes)
+            session = self.session()
             self._tree_cache[key] = {
-                a: t.leaf_items() for a, t in trees.items()
+                a: session.tree(a, tree_support, criterion).leaf_items()
+                for a in self.features.continuous_names
             }
         return self._tree_cache[key]
 

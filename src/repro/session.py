@@ -1,0 +1,23 @@
+"""Public home of the warm-start exploration session.
+
+Thin re-export of :mod:`repro.core.session` so the documented import
+path is the short one::
+
+    from repro.session import ExploreSession
+
+    with ExploreSession(table, outcome) as session:
+        result = session.explore(min_support=0.05)
+        sweep = session.sweep("min_support", [0.05, 0.1, 0.15, 0.2])
+
+See :class:`~repro.core.session.ExploreSession` for the artifact-cache
+semantics and ``docs/API.md`` for the parameter → artifact
+invalidation map.
+"""
+
+from repro.core.session import (
+    ExploreSession,
+    SweepPoint,
+    SweepResult,
+)
+
+__all__ = ["ExploreSession", "SweepPoint", "SweepResult"]

@@ -189,3 +189,68 @@ class TestConfigDrivenExploration:
         bit = HDivExplorer(cfg).explore(table, errors)
         ref = HDivExplorer(0.1, tree_support=0.2).explore(table, errors)
         assert bit.itemsets() == ref.itemsets()
+
+
+class TestSerializationRoundTrip:
+    def test_from_dict_inverts_to_dict(self):
+        cfg = ExploreConfig(
+            min_support=0.07, tree_support=0.2, criterion="entropy",
+            backend="eclat", polarity=True, max_length=3, n_jobs=2,
+        )
+        assert ExploreConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_from_dict_applies_defaults(self):
+        assert ExploreConfig.from_dict({}) == ExploreConfig()
+        assert ExploreConfig.from_dict({"backend": "bitset"}).backend == "bitset"
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown ExploreConfig keys"):
+            ExploreConfig.from_dict({"min_support": 0.1, "supportz": 0.2})
+
+    def test_from_dict_rejects_runtime_fields(self):
+        # obs/profile_memory are runtime wiring, not serialized state:
+        # they arrive via the keyword-only parameters, never the dict.
+        with pytest.raises(ValueError, match="unknown ExploreConfig keys"):
+            ExploreConfig.from_dict({"obs": None})
+
+    def test_from_dict_validates(self):
+        with pytest.raises(ValueError):
+            ExploreConfig.from_dict({"min_support": 0.0})
+
+
+class TestFingerprint:
+    def test_insertion_order_insensitive(self):
+        cfg = ExploreConfig(min_support=0.1, backend="bitset")
+        data = cfg.to_dict()
+        shuffled = dict(reversed(list(data.items())))
+        assert list(shuffled) != list(data)
+        rebuilt = ExploreConfig.from_dict(shuffled)
+        assert rebuilt.fingerprint() == cfg.fingerprint()
+
+    def test_noop_replace_preserves_fingerprint(self):
+        cfg = ExploreConfig(min_support=0.1, tree_support=0.2)
+        assert cfg.replace().fingerprint() == cfg.fingerprint()
+        assert cfg.replace(min_support=0.1).fingerprint() == cfg.fingerprint()
+
+    def test_changed_field_changes_fingerprint(self):
+        cfg = ExploreConfig()
+        assert cfg.replace(min_support=0.2).fingerprint() != cfg.fingerprint()
+
+    def test_subset_keys(self):
+        a = ExploreConfig(min_support=0.1, backend="bitset")
+        b = ExploreConfig(min_support=0.1, backend="fpgrowth")
+        assert a.fingerprint(keys=["min_support"]) == b.fingerprint(
+            keys=["min_support"]
+        )
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_subset_keys_validated(self):
+        with pytest.raises(ValueError, match="unknown fingerprint keys"):
+            ExploreConfig().fingerprint(keys=["supportz"])
+
+    def test_obs_does_not_leak_into_fingerprint(self):
+        from repro.obs import ObsCollector
+
+        with_obs = ExploreConfig(min_support=0.1, obs=ObsCollector())
+        without = ExploreConfig(min_support=0.1)
+        assert with_obs.fingerprint() == without.fingerprint()

@@ -553,3 +553,63 @@ class TestWallClockDatetime:
             "stamp = datetime.now(timezone.utc).isoformat()\n"
         )
         assert codes(src) == []
+
+
+class TestPipelineInternalConstruction:
+    def test_flags_direct_internal_construction(self):
+        src = """\
+        from repro.core.discretize import TreeDiscretizer
+        from repro.core.mining.bitset import BitsetEngine
+        from repro.core.mining.fpgrowth import mine_fpgrowth
+
+        tree = TreeDiscretizer(0.1).fit(table, "age", outcome)
+        engine = BitsetEngine(universe)
+        mined = mine_fpgrowth(universe, 0.05)
+        """
+        assert codes(src) == ["RPL015", "RPL015", "RPL015"]
+
+    def test_flags_attribute_qualified_calls(self):
+        src = """\
+        import repro.core.mining.parallel as par
+        shards = par.mine_parallel(universe, 0.05)
+        """
+        assert codes(src) == ["RPL015"]
+
+    def test_front_doors_stay_callable(self):
+        src = """\
+        from repro import ExploreSession, HDivExplorer
+        from repro.core.discretize import CombinedTreeDiscretizer
+        from repro.core.mining.transactions import mine
+
+        session = ExploreSession(table, outcome)
+        result = session.explore(0.05)
+        cold = HDivExplorer(0.05).explore(table, outcome)
+        mined = mine(universe, 0.05, "bitset")
+        combined = CombinedTreeDiscretizer(0.1).fit(table, outcome)
+        """
+        assert codes(src) == []
+
+    def test_imports_alone_do_not_fire(self):
+        src = """\
+        from repro.core.discretize import TreeDiscretizer
+        from repro.core.mining.bitset import BitsetEngine
+        """
+        assert codes(src) == []
+
+    def test_core_tests_and_examples_are_exempt(self):
+        src = """\
+        from repro.core.discretize import TreeDiscretizer
+        tree = TreeDiscretizer(0.1).fit(table, "age", outcome)
+        """
+        assert codes(src, path="src/repro/core/hexplorer.py") == []
+        assert codes(src, path="tests/test_discretize.py") == []
+        assert codes(src, path="examples/custom_tree.py") == []
+        assert codes(src, path="benchmarks/bench_x.py") == ["RPL015"]
+
+    def test_suppressible_with_justification(self):
+        src = (
+            "from repro.core.mining.bitset import BitsetEngine\n"
+            "# reprolint: disable-next-line=RPL015 (cache probe)\n"
+            "engine = BitsetEngine(universe)\n"
+        )
+        assert codes(src) == []
