@@ -1,13 +1,19 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-json lint-baseline verify bench bench-smoke obs-smoke perf-gate perf-report bench-engine sweep-bench
+.PHONY: test lint lint-json lint-baseline arch arch-gate arch-lock verify bench bench-smoke obs-smoke perf-gate perf-report bench-engine sweep-bench
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 lint:
-	$(PYTHON) -m repro.devtools.lint src benchmarks
+	$(PYTHON) -m repro.devtools.lint src benchmarks --jobs 0
+
+arch:
+	$(PYTHON) -m repro.devtools.arch check
+
+arch-lock:
+	$(PYTHON) -m repro.devtools.arch lock
 
 lint-json:
 	$(PYTHON) -m repro.devtools.lint src benchmarks \
@@ -16,7 +22,7 @@ lint-json:
 lint-baseline:
 	$(PYTHON) -m repro.devtools.lint src benchmarks --write-baseline
 
-verify: lint test bench-smoke obs-smoke perf-gate
+verify: lint arch-gate test bench-smoke obs-smoke perf-gate
 
 bench-smoke:
 	$(PYTHON) benchmarks/smoke.py
@@ -26,6 +32,9 @@ obs-smoke:
 
 perf-gate:
 	$(PYTHON) benchmarks/smoke.py --perf-gate
+
+arch-gate:
+	$(PYTHON) benchmarks/smoke.py --arch
 
 perf-report:
 	$(PYTHON) -m repro.obs.perfdb --history benchmark_results/history report

@@ -15,18 +15,23 @@ enabling a collector must not change the ResultSet, and instrumented
 runs must stay within ``MAX_OBS_OVERHEAD`` of the disabled-mode wall
 time (best-of-3, with an absolute epsilon for timer noise).
 
-With ``--perf-gate`` it times the same workload once, compares the
-phase wall times against the perfdb history baseline
-(``benchmark_results/history/``, median of recent matching records —
-see ``repro.obs.perfdb``), appends the fresh run to the history, and
-exits non-zero on any regression. With no or too-little history the
-gate records and passes.
+With ``--perf-gate`` it times the same workload once (plus a reprolint
+pass as its own ``lint`` phase), compares the phase wall times against
+the perfdb history baseline (``benchmark_results/history/``, median of
+recent matching records — see ``repro.obs.perfdb``), appends the fresh
+run to the history, and exits non-zero on any regression. With no or
+too-little history the gate records and passes.
+
+With ``--arch`` it runs the reproarch whole-program gate
+(``python -m repro.devtools.arch check``): layering, cycles, exports,
+api lockfile, contracts and deprecations.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/smoke.py              # or: make bench-smoke
     PYTHONPATH=src python benchmarks/smoke.py --obs        # or: make obs-smoke
     PYTHONPATH=src python benchmarks/smoke.py --perf-gate  # or: make perf-gate
+    PYTHONPATH=src python benchmarks/smoke.py --arch       # or: make arch-gate
 """
 
 from __future__ import annotations
@@ -88,6 +93,7 @@ def main() -> int:
     lint_report = LintRunner(
         root=REPO_ROOT,
         baseline=Baseline.load(REPO_ROOT / BASELINE_FILENAME),
+        jobs=0,
     ).run([REPO_ROOT / "src", REPO_ROOT / "benchmarks"])
     lint_status = "ok" if lint_report.ok else "FINDINGS"
     print(
@@ -183,6 +189,12 @@ def perf_gate_main() -> int:
     run_hierarchical(ctx, SUPPORT)  # warm caches/imports untimed
     obs = ObsCollector()
     run_hierarchical(ctx, SUPPORT, obs=obs)
+    with obs.span("lint"):
+        LintRunner(
+            root=REPO_ROOT,
+            baseline=Baseline.load(REPO_ROOT / BASELINE_FILENAME),
+            jobs=0,
+        ).run([REPO_ROOT / "src", REPO_ROOT / "benchmarks"])
     payload = bench_payload(
         "smoke_fig2", obs=obs,
         config={"dataset": "synthetic-peak", "support": SUPPORT},
@@ -203,11 +215,20 @@ def perf_gate_main() -> int:
     return 0
 
 
+def arch_main() -> int:
+    """Architecture gate: the reproarch whole-program checks."""
+    from repro.devtools.arch.cli import main as arch_check
+
+    return arch_check(["--root", str(REPO_ROOT), "check"])
+
+
 def _main(argv: list[str]) -> int:
     if "--obs" in argv:
         return obs_main()
     if "--perf-gate" in argv:
         return perf_gate_main()
+    if "--arch" in argv:
+        return arch_main()
     return main()
 
 

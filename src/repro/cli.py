@@ -167,6 +167,7 @@ def _explore_config(args, obs=None) -> ExploreConfig:
             "criterion": args.criterion,
             "backend": getattr(args, "backend", "fpgrowth"),
             "polarity": getattr(args, "polarity", False),
+            "max_length": getattr(args, "max_length", None),
             "n_jobs": getattr(args, "n_jobs", 1),
         },
         obs=obs,
@@ -360,6 +361,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--n-jobs", type=int, default=1, dest="n_jobs",
             help="mining worker processes (1 = serial, <=0 = all cores)",
+        )
+        p.add_argument(
+            "--max-length", type=int, default=None, dest="max_length",
+            help="cap itemset length of mined subgroups (default: no cap)",
         )
         p.add_argument("--polarity", action="store_true")
         p.add_argument("--top", type=int, default=10)

@@ -1,0 +1,38 @@
+"""Unified devtools front door: ``python -m repro.devtools {lint,arch}``.
+
+Dispatches to the per-tool CLIs; ``python -m repro.devtools.lint`` and
+``python -m repro.devtools.arch`` keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import sys
+
+USAGE = (
+    "usage: python -m repro.devtools {lint,arch} [options]\n"
+    "  lint  per-file determinism & purity analyzer (reprolint)\n"
+    "  arch  whole-program architecture & contract analyzer (reproarch)\n"
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv or argv[0] in ("-h", "--help"):
+        print(USAGE, end="")
+        return 0 if argv else 2
+    tool, rest = argv[0], argv[1:]
+    if tool == "lint":
+        from repro.devtools.lint import main as lint_main
+
+        return lint_main(rest)
+    if tool == "arch":
+        from repro.devtools.arch.cli import main as arch_main
+
+        return arch_main(rest)
+    print(USAGE, end="", file=sys.stderr)
+    print(f"error: unknown tool {tool!r}", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

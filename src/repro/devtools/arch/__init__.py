@@ -1,0 +1,39 @@
+"""reproarch — whole-program architecture & contract analyzer.
+
+Where reprolint (:mod:`repro.devtools.lint`) judges one file at a time,
+reproarch parses *every* module under ``src/repro`` into a symbol table
+and import graph (AST only — nothing is imported) and checks the
+cross-module contracts a per-file linter cannot see:
+
+* **layering** (RPA001/RPA002) — the declared layer DAG in
+  ``.reproarch.toml`` holds and the top-level import graph is acyclic;
+* **exports** (RPA003/RPA004) — every ``__all__`` name resolves and is
+  referenced somewhere beyond its own re-export chain;
+* **api-lock** (RPA005) — the public surface matches the committed
+  ``api_lock.json`` snapshot, changed only via an explicit
+  ``--update-lock`` / ``lock`` workflow;
+* **contracts** (RPA006–RPA008) — ExploreConfig serialization and CLI
+  stay in sync, asserted telemetry names are actually emitted, and
+  schema ids agree between emitters, validators and fixtures;
+* **deprecations** (RPA009/RPA010) — every DeprecationWarning shim is
+  registered with a removal horizon and removed on schedule.
+
+Entry point: ``python -m repro.devtools.arch {check,graph,lock}``.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.arch.lockfile import LOCK_FILENAME
+from repro.devtools.arch.project import Project, build_project
+from repro.devtools.arch.runner import ArchReport, ArchRunner
+from repro.devtools.arch.spec import SPEC_FILENAME, ArchSpec
+
+__all__ = [
+    "ArchReport",
+    "ArchRunner",
+    "ArchSpec",
+    "LOCK_FILENAME",
+    "Project",
+    "SPEC_FILENAME",
+    "build_project",
+]

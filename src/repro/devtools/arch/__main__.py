@@ -1,0 +1,10 @@
+"""``python -m repro.devtools.arch`` entry point."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.devtools.arch.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,159 @@
+"""The reproarch command line.
+
+Usage::
+
+    python -m repro.devtools.arch check [--update-lock] [--no-lock]
+        [--select layering,exports] [--format {text,json}]
+        [--output FILE] [--root DIR]
+    python -m repro.devtools.arch graph [--format {text,dot}] [--root DIR]
+    python -m repro.devtools.arch lock [--root DIR]
+
+Exit status: 0 on a clean tree, 1 when findings remain, 2 on usage or
+spec errors. ``check`` is the CI gate (``make arch-gate``); ``lock``
+rewrites ``api_lock.json`` after a reviewed public-API change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.devtools.arch import lockfile
+from repro.devtools.arch.graph import render_graph
+from repro.devtools.arch.runner import CHECKS, ArchRunner
+from repro.devtools.arch.spec import SPEC_FILENAME, ArchSpec
+from repro.devtools.lint import find_root
+from repro.devtools.reporting import render_json, render_text
+
+CHECK_NAMES = tuple(name for name, _ in CHECKS) + ("api-lock",)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.arch",
+        description="Whole-program architecture & contract analyzer for "
+        "the H-DivExplorer reproduction.",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repo root override (default: nearest pyproject.toml)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser(
+        "check", help="run every architecture check (the CI gate)"
+    )
+    check.add_argument(
+        "--update-lock",
+        action="store_true",
+        help=f"rewrite {lockfile.LOCK_FILENAME} before checking",
+    )
+    check.add_argument(
+        "--no-lock",
+        action="store_true",
+        help="skip the api-lock check (fixture trees without a lockfile)",
+    )
+    check.add_argument(
+        "--select",
+        default=None,
+        metavar="CHECKS",
+        help=f"comma-separated checks to run "
+        f"(default: all of {', '.join(CHECK_NAMES)})",
+    )
+    check.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    check.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write the report to this file instead of stdout",
+    )
+
+    graph = sub.add_parser(
+        "graph", help="print the package-layer import graph"
+    )
+    graph.add_argument(
+        "--format",
+        choices=("text", "dot"),
+        default="text",
+        help="graph format (default: text; dot for graphviz)",
+    )
+
+    sub.add_parser(
+        "lock",
+        help=f"snapshot the public API surface into {lockfile.LOCK_FILENAME}",
+    )
+    return parser
+
+
+def _load_spec(parser: argparse.ArgumentParser, root: Path) -> ArchSpec:
+    try:
+        return ArchSpec.load(root / SPEC_FILENAME)
+    except (FileNotFoundError, ValueError) as exc:
+        parser.error(str(exc))
+        raise AssertionError("unreachable")  # parser.error raises SystemExit
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    opts = parser.parse_args(argv)
+    root = (opts.root or find_root(Path.cwd())).resolve()
+    spec = _load_spec(parser, root)
+    runner = ArchRunner(root=root, spec=spec)
+
+    if opts.command == "lock":
+        payload = lockfile.write_lock(runner.project, runner.lock_path)
+        modules = payload["modules"]
+        n_names = sum(len(entry) for entry in modules.values())  # type: ignore[union-attr]
+        print(
+            f"reproarch: locked {n_names} public names across "
+            f"{len(modules)} modules in {runner.lock_path}"  # type: ignore[arg-type]
+        )
+        return 0
+
+    if opts.command == "graph":
+        print(render_graph(runner.project, fmt=opts.format))
+        return 0
+
+    select = None
+    if opts.select:
+        wanted = {name.strip() for name in opts.select.split(",")}
+        unknown = wanted - set(CHECK_NAMES)
+        if unknown:
+            parser.error(
+                f"unknown checks: {', '.join(sorted(unknown))} "
+                f"(known: {', '.join(CHECK_NAMES)})"
+            )
+        select = frozenset(wanted)
+
+    if opts.update_lock:
+        lockfile.write_lock(runner.project, runner.lock_path)
+        print(f"reproarch: rewrote {runner.lock_path}")
+
+    report = runner.run(select=select, check_lock=not opts.no_lock)
+    rendered = (
+        render_json(report)
+        if opts.format == "json"
+        else render_text(report, tool="reproarch")
+    )
+    if opts.output is not None:
+        opts.output.parent.mkdir(parents=True, exist_ok=True)
+        opts.output.write_text(
+            rendered if rendered.endswith("\n") else rendered + "\n",
+            encoding="utf-8",
+        )
+        print(f"reproarch: report written to {opts.output}")
+    else:
+        print(rendered)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,302 @@
+"""Cross-artifact contract checks: config↔CLI, obs names, schema ids.
+
+Three contracts that per-file linting cannot see:
+
+* **Config** — every :class:`repro.core.config.ExploreConfig` field is
+  either serialized (``to_dict``/``from_dict``/``fingerprint``) *and*
+  settable from the CLI, or explicitly exempted with a reason. The
+  serialization exclusion literals in ``to_dict`` and the module-level
+  ``_SERIALIZED_FIELDS`` definition must agree.
+* **Obs names** — every counter/gauge/span name a test, benchmark or
+  doc code block asserts must actually be emitted by library code
+  (names the file emits itself, e.g. unit-test fixtures, are out of
+  scope; f-string emissions match by prefix).
+* **Schema ids** — every ``repro.obs/*@N`` string, wherever it occurs
+  (src, tests, docs, committed JSON fixtures), must name a version
+  declared as a module-level constant in src; snapshot ``.json``
+  fixtures must carry the *current* (highest declared) version.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools.arch.project import Project
+from repro.devtools.arch.symbols import ObsName
+from repro.devtools.model import Finding, Severity, fingerprint
+
+CONFIG_CONTRACT_CODE = "RPA006"
+OBS_NAME_CODE = "RPA007"
+SCHEMA_CODE = "RPA008"
+
+CONFIG_MODULE = "repro.core.config"
+CONFIG_CLASS = "ExploreConfig"
+CLI_MODULE = "repro.cli"
+CLI_CONFIG_BUILDER = "_explore_config"
+SERIALIZED_FIELDS_NAME = "_SERIALIZED_FIELDS"
+
+
+def _finding(
+    code: str, rule: str, path: str, message: str, line: int = 1,
+) -> Finding:
+    return Finding(
+        code=code, rule=rule, severity=Severity.ERROR, path=path,
+        line=line, col=0, message=message,
+        fingerprint=fingerprint(path, code, message),
+    )
+
+
+# -- config contract -----------------------------------------------------
+
+
+def _config_fields(tree: ast.Module) -> list[str]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == CONFIG_CLASS:
+            return [
+                item.target.id
+                for item in node.body
+                if isinstance(item, ast.AnnAssign)
+                and isinstance(item.target, ast.Name)
+            ]
+    return []
+
+
+def _string_constants(node: ast.AST) -> set[str]:
+    return {
+        sub.value
+        for sub in ast.walk(node)
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str)
+    }
+
+
+def _method_body(tree: ast.Module, cls: str, method: str) -> ast.AST | None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == cls:
+            for item in node.body:
+                if (
+                    isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and item.name == method
+                ):
+                    return item
+    return None
+
+
+def _module_assign(tree: ast.Module, name: str) -> ast.AST | None:
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == name for t in node.targets
+        ):
+            return node
+    return None
+
+
+def check_config_contract(project: Project) -> list[Finding]:
+    config = project.modules.get(CONFIG_MODULE)
+    cli = project.modules.get(CLI_MODULE)
+    if config is None or config.tree is None:
+        return []  # nothing to check (e.g. fixture trees without a config)
+    findings: list[Finding] = []
+    fields = _config_fields(config.tree)
+    if not fields:
+        return [
+            _finding(
+                CONFIG_CONTRACT_CODE, "config-contract", config.path,
+                f"class {CONFIG_CLASS} not found (or has no annotated "
+                f"fields) in {CONFIG_MODULE}",
+            )
+        ]
+    field_set = set(fields)
+
+    to_dict = _method_body(config.tree, CONFIG_CLASS, "to_dict")
+    from_dict = _method_body(config.tree, CONFIG_CLASS, "from_dict")
+    fingerprint_m = _method_body(config.tree, CONFIG_CLASS, "fingerprint")
+    serialized = _module_assign(config.tree, SERIALIZED_FIELDS_NAME)
+    for required, what in (
+        (to_dict, "to_dict"),
+        (from_dict, "from_dict"),
+        (fingerprint_m, "fingerprint"),
+        (serialized, SERIALIZED_FIELDS_NAME),
+    ):
+        if required is None:
+            findings.append(
+                _finding(
+                    CONFIG_CONTRACT_CODE, "config-contract", config.path,
+                    f"{CONFIG_CLASS} serialization contract: {what} "
+                    f"not found in {CONFIG_MODULE}",
+                )
+            )
+    if to_dict is None or serialized is None:
+        return findings
+
+    excluded_to_dict = _string_constants(to_dict) & field_set
+    excluded_serialized = _string_constants(serialized) & field_set
+    if excluded_to_dict != excluded_serialized:
+        findings.append(
+            _finding(
+                CONFIG_CONTRACT_CODE, "config-contract", config.path,
+                f"serialization exclusions disagree: to_dict excludes "
+                f"{sorted(excluded_to_dict)} but "
+                f"{SERIALIZED_FIELDS_NAME} excludes "
+                f"{sorted(excluded_serialized)}",
+            )
+        )
+    for name in sorted(excluded_to_dict | excluded_serialized):
+        if project.spec.exemption_reason("config-field", name) is None:
+            findings.append(
+                _finding(
+                    CONFIG_CONTRACT_CODE, "config-contract", config.path,
+                    f"field {name!r} is excluded from "
+                    f"to_dict/from_dict/fingerprint without an "
+                    f"[[exemptions.config-field]] entry",
+                )
+            )
+
+    cli_fields: set[str] = set()
+    if cli is not None and cli.tree is not None:
+        for node in ast.walk(cli.tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == CLI_CONFIG_BUILDER
+            ):
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Dict):
+                        cli_fields |= {
+                            k.value
+                            for k in sub.keys
+                            if isinstance(k, ast.Constant)
+                            and isinstance(k.value, str)
+                        }
+    serialized_fields = [f for f in fields if f not in excluded_to_dict]
+    for name in serialized_fields:
+        if name in cli_fields:
+            continue
+        if project.spec.exemption_reason("config-field", name) is not None:
+            continue
+        findings.append(
+            _finding(
+                CONFIG_CONTRACT_CODE, "config-contract",
+                cli.path if cli is not None else config.path,
+                f"config field {name!r} has no CLI flag (not a key of "
+                f"the {CLI_CONFIG_BUILDER} dict in {CLI_MODULE}) and no "
+                f"[[exemptions.config-field]] entry",
+            )
+        )
+    return findings
+
+
+def config_exemption_usage(project: Project) -> set[str]:
+    config = project.modules.get(CONFIG_MODULE)
+    if config is None or config.tree is None:
+        return set()
+    to_dict = _method_body(config.tree, CONFIG_CLASS, "to_dict")
+    if to_dict is None:
+        return set()
+    excluded = _string_constants(to_dict) & set(_config_fields(config.tree))
+    return {
+        name
+        for name in excluded
+        if project.spec.exemption_reason("config-field", name) is not None
+    }
+
+
+# -- obs telemetry names -------------------------------------------------
+
+
+def _emitted_in_src(project: Project) -> list[ObsName]:
+    emitted: list[ObsName] = []
+    for name in sorted(project.modules):
+        emitted.extend(project.modules[name].emitted_obs)
+    return emitted
+
+
+def _matches_any(name: ObsName, emitted: list[ObsName]) -> bool:
+    return any(name.matches(e) for e in emitted)
+
+
+def check_obs_names(project: Project) -> list[Finding]:
+    emitted = _emitted_in_src(project)
+    findings: list[Finding] = []
+    reported: set[str] = set()
+
+    def report(name: str, where: str) -> None:
+        if name in reported:
+            return
+        if project.spec.exemption_reason("obs-name", name) is not None:
+            return
+        reported.add(name)
+        findings.append(
+            _finding(
+                OBS_NAME_CODE, "obs-name-drift", where,
+                f"telemetry name {name!r} is asserted here but never "
+                f"emitted by library code (obs.count/gauge/span in "
+                f"src/repro)",
+            )
+        )
+
+    for rel in sorted(project.aux):
+        info = project.aux[rel]
+        local = list(info.emitted_obs)
+        for asserted in info.asserted_obs:
+            if _matches_any(asserted, local):
+                continue
+            if not _matches_any(asserted, emitted):
+                report(asserted.name, info.path)
+    for name in sorted(project.doc_asserted_obs):
+        if not _matches_any(ObsName(name), emitted):
+            report(name, "docs")
+    return findings
+
+
+# -- schema version strings ----------------------------------------------
+
+
+def check_schema_versions(project: Project) -> list[Finding]:
+    declared: dict[str, set[int]] = {}
+    for name in sorted(project.modules):
+        for family, version in project.modules[name].schema_consts:
+            declared.setdefault(family, set()).add(version)
+    findings: list[Finding] = []
+    reported: set[tuple[str, int, str]] = set()
+    for occ in project.schema_occurrences:
+        schema_id = f"repro.{occ.family}@{occ.version}"
+        if project.spec.exemption_reason("schema", schema_id) is not None:
+            continue
+        key = (occ.family, occ.version, occ.where)
+        if key in reported:
+            continue
+        if occ.family not in declared:
+            reported.add(key)
+            findings.append(
+                _finding(
+                    SCHEMA_CODE, "schema-version-drift", occ.where,
+                    f"schema id {schema_id!r} names a family no "
+                    f"module-level constant in src declares",
+                )
+            )
+        elif occ.version not in declared[occ.family]:
+            reported.add(key)
+            findings.append(
+                _finding(
+                    SCHEMA_CODE, "schema-version-drift", occ.where,
+                    f"schema id {schema_id!r} is undeclared in src "
+                    f"(declared versions: "
+                    f"{sorted(declared[occ.family])})",
+                )
+            )
+        elif (
+            occ.kind == "fixture"
+            and not occ.where.endswith(".jsonl")
+            and occ.version != max(declared[occ.family])
+        ):
+            # Append-only .jsonl histories legitimately hold records
+            # written by older code; snapshot fixtures must be current.
+            reported.add(key)
+            findings.append(
+                _finding(
+                    SCHEMA_CODE, "schema-version-drift", occ.where,
+                    f"fixture uses stale schema {schema_id!r} "
+                    f"(current: repro.{occ.family}@"
+                    f"{max(declared[occ.family])})",
+                )
+            )
+    return findings

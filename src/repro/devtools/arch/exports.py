@@ -1,0 +1,147 @@
+"""Dead-export and unresolved-export detection.
+
+A name in some module's ``__all__`` is *dead* when, after resolving
+re-export chains to the defining symbol, no other module — library,
+test, benchmark, example or documentation code block — references it
+under **any** export path. Pure re-exports do not count as uses: a
+facade ``__init__`` that imports a symbol only to list it in its own
+``__all__`` merely moves the export surface, it does not consume the
+symbol.
+
+Justified keeps (result types reached through return values, schema
+constants kept for API symmetry) are exempted in ``.reproarch.toml``
+``[[exemptions.dead-export]]`` with a reason string.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.arch.project import Project
+from repro.devtools.arch.symbols import ModuleInfo
+from repro.devtools.model import Finding, Severity, fingerprint
+
+DEAD_EXPORT_CODE = "RPA003"
+UNRESOLVED_EXPORT_CODE = "RPA004"
+
+
+def _finding(
+    code: str, rule: str, path: str, message: str,
+    severity: Severity = Severity.ERROR,
+) -> Finding:
+    return Finding(
+        code=code, rule=rule, severity=severity, path=path, line=1, col=0,
+        message=message, fingerprint=fingerprint(path, code, message),
+    )
+
+
+def _internal_uses(info: ModuleInfo) -> set[str]:
+    """Locally-bound imported names the module actually consumes.
+
+    A binding that only reappears in ``__all__`` (a string there, not a
+    Name load) is a pure re-export, not a use.
+    """
+    return {
+        local
+        for local in info.import_bindings
+        if local in info.used_names
+    }
+
+
+def collect_used_origins(project: Project) -> set[tuple[str, str]]:
+    """Every definition site referenced by code other than re-exports."""
+    used: set[tuple[str, str]] = set()
+
+    def mark(module: str, name: str) -> None:
+        origin = project.resolve(module, name)
+        if origin is not None:
+            used.add(origin)
+
+    for info in project.modules.values():
+        for local in sorted(_internal_uses(info)):
+            target_mod, target_name = info.import_bindings[local]
+            mark(target_mod, target_name)
+        for target_mod, attr in sorted(info.attr_refs):
+            mark(target_mod, attr)
+        for target in info.star_imports:
+            target_info = project.modules.get(target)
+            for name in (target_info.all_names or []) if target_info else []:
+                mark(target, name)
+
+    for info in project.aux.values():
+        for target_mod, target_name in sorted(
+            set(info.import_bindings.values())
+        ):
+            mark(target_mod, target_name)
+        for target_mod, attr in sorted(info.attr_refs):
+            mark(target_mod, attr)
+
+    for module in sorted(project.doc_refs):
+        for name in sorted(project.doc_refs[module]):
+            mark(module, name)
+    return used
+
+
+def check_exports(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    used = collect_used_origins(project)
+
+    # origin -> export paths ("module:name") offering it
+    surfaces: dict[tuple[str, str], list[str]] = {}
+    for mod_name in sorted(project.modules):
+        info = project.modules[mod_name]
+        for name in info.all_names or []:
+            origin = project.resolve(mod_name, name)
+            if origin is None:
+                findings.append(
+                    _finding(
+                        UNRESOLVED_EXPORT_CODE, "unresolved-export",
+                        info.path,
+                        f"__all__ of {mod_name} lists {name!r} but the "
+                        f"name resolves to no definition (typo, missing "
+                        f"import, or an unhinted lazy export — see "
+                        f"[lazy-exports] in .reproarch.toml)",
+                    )
+                )
+                continue
+            surfaces.setdefault(origin, []).append(f"{mod_name}:{name}")
+
+    for origin in sorted(surfaces):
+        if origin in used:
+            continue
+        origin_module, origin_name = origin
+        if not origin_name:
+            continue  # a module re-export; liveness is its own story
+        paths = sorted(surfaces[origin])
+        exempt_keys = [f"{origin_module}:{origin_name}", *paths]
+        if any(
+            project.spec.exemption_reason("dead-export", key) is not None
+            for key in exempt_keys
+        ):
+            continue
+        anchor = project.modules.get(origin_module)
+        path = anchor.path if anchor else paths[0]
+        findings.append(
+            _finding(
+                DEAD_EXPORT_CODE, "dead-export", path,
+                f"{origin_module}:{origin_name} (exported as "
+                f"{', '.join(paths)}) is referenced by no other module, "
+                f"test, benchmark or doc; remove it from __all__ or "
+                f"exempt it with a reason",
+            )
+        )
+    return findings
+
+
+def exemption_usage(project: Project) -> set[str]:
+    """The dead-export exemption names that matched this run."""
+    used = collect_used_origins(project)
+    matched: set[str] = set()
+    for mod_name in sorted(project.modules):
+        info = project.modules[mod_name]
+        for name in info.all_names or []:
+            origin = project.resolve(mod_name, name)
+            if origin is None or origin in used or not origin[1]:
+                continue
+            for key in (f"{origin[0]}:{origin[1]}", f"{mod_name}:{name}"):
+                if project.spec.exemption_reason("dead-export", key) is not None:
+                    matched.add(key)
+    return matched

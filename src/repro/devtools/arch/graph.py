@@ -1,0 +1,209 @@
+"""Layering contract and import-cycle checks over the import graph.
+
+The layer DAG lives in ``.reproarch.toml`` ``[layers]``: each layer
+(top-level component under ``repro``) declares which layers it may
+import. Same-layer imports are always allowed, the stdlib is always
+allowed, and *lazy* (function-scoped) imports still count — deferring
+an import changes initialization order, not the dependency.
+
+Cycles are checked at module granularity over the *top-level* import
+graph only: a function-scoped import is the sanctioned way to break an
+initialization cycle, so it contributes no cycle edge.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.arch.project import Project
+from repro.devtools.model import Finding, Severity, fingerprint
+
+LAYERING_CODE = "RPA001"
+CYCLE_CODE = "RPA002"
+SPEC_CODE = "RPA011"
+
+
+def _finding(
+    code: str, rule: str, path: str, message: str,
+    line: int = 1, severity: Severity = Severity.ERROR,
+) -> Finding:
+    return Finding(
+        code=code,
+        rule=rule,
+        severity=severity,
+        path=path,
+        line=line,
+        col=0,
+        message=message,
+        fingerprint=fingerprint(path, code, message),
+    )
+
+
+def _import_edges(project: Project, include_lazy: bool) -> dict[str, set[str]]:
+    """module -> imported repro modules, normalized to scanned names."""
+    edges: dict[str, set[str]] = {}
+    for name in sorted(project.modules):
+        info = project.modules[name]
+        targets = set(info.toplevel_imports)
+        if include_lazy:
+            targets |= info.lazy_imports
+        resolved: set[str] = set()
+        for target in sorted(targets):
+            # `from repro.core import explorer` binds submodules: count
+            # an edge to each bound submodule as well as the package.
+            resolved.add(target)
+            for local, (mod, sub) in sorted(info.import_bindings.items()):
+                if mod == target and f"{target}.{sub}" in project.modules:
+                    resolved.add(f"{target}.{sub}")
+        edges[name] = {t for t in resolved if t != name}
+    return edges
+
+
+def check_layering(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    spec = project.spec
+    actual_layers = {info.layer for info in project.modules.values()}
+    for layer in sorted(spec.layers):
+        unknown = sorted(
+            set(spec.layers[layer]) - actual_layers - {layer}
+        )
+        if layer not in actual_layers:
+            findings.append(
+                _finding(
+                    SPEC_CODE, "arch-spec", ".reproarch.toml",
+                    f"[layers] names unknown layer {layer!r} "
+                    f"(no module under src/repro has it)",
+                    severity=Severity.WARNING,
+                )
+            )
+        for target in unknown:
+            findings.append(
+                _finding(
+                    SPEC_CODE, "arch-spec", ".reproarch.toml",
+                    f"[layers] {layer} allows unknown layer {target!r}",
+                    severity=Severity.WARNING,
+                )
+            )
+    for layer in sorted(actual_layers):
+        if layer not in spec.layers:
+            findings.append(
+                _finding(
+                    LAYERING_CODE, "layering", ".reproarch.toml",
+                    f"layer {layer!r} (under src/repro) is not declared "
+                    f"in [layers]; add it with its allowed imports",
+                )
+            )
+
+    edges = _import_edges(project, include_lazy=True)
+    for name in sorted(edges):
+        info = project.modules[name]
+        allowed = set(spec.allowed_layers(info.layer)) | {info.layer}
+        for target in sorted(edges[name]):
+            target_layer = project.layer_of(target)
+            if target_layer not in allowed:
+                findings.append(
+                    _finding(
+                        LAYERING_CODE, "layering", info.path,
+                        f"layer {info.layer!r} may not import layer "
+                        f"{target_layer!r} ({name} imports {target}); "
+                        f"allowed: {sorted(allowed)}",
+                    )
+                )
+    return findings
+
+
+def _strongly_connected(edges: dict[str, set[str]]) -> list[list[str]]:
+    """Tarjan SCCs (iterative), deterministic over sorted node order."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = [0]
+
+    def strongconnect(root: str) -> None:
+        work = [(root, iter(sorted(edges.get(root, ()))))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in edges:
+                    continue
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(edges.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    sccs.append(sorted(component))
+
+    for node in sorted(edges):
+        if node not in index:
+            strongconnect(node)
+    return sorted(sccs)
+
+
+def check_cycles(project: Project) -> list[Finding]:
+    edges = _import_edges(project, include_lazy=False)
+    findings = []
+    for component in _strongly_connected(edges):
+        anchor = project.modules[component[0]]
+        findings.append(
+            _finding(
+                CYCLE_CODE, "import-cycle", anchor.path,
+                f"top-level import cycle: {' -> '.join(component)} -> "
+                f"{component[0]}; break it with a function-scoped import",
+            )
+        )
+    return findings
+
+
+def render_graph(project: Project, fmt: str = "text") -> str:
+    """The package-layer import graph, as adjacency text or DOT."""
+    layer_edges: dict[str, set[str]] = {}
+    counts: dict[str, int] = {}
+    for info in project.modules.values():
+        counts[info.layer] = counts.get(info.layer, 0) + 1
+        targets = info.toplevel_imports | info.lazy_imports
+        for target in targets:
+            tl = project.layer_of(target)
+            if tl != info.layer:
+                layer_edges.setdefault(info.layer, set()).add(tl)
+    if fmt == "dot":
+        lines = ["digraph repro_arch {", "  rankdir=LR;"]
+        for layer in sorted(counts):
+            lines.append(
+                f'  "{layer}" [label="{layer}\\n'
+                f'{counts[layer]} modules"];'
+            )
+        for layer in sorted(layer_edges):
+            for target in sorted(layer_edges[layer]):
+                lines.append(f'  "{layer}" -> "{target}";')
+        lines.append("}")
+        return "\n".join(lines)
+    lines = []
+    for layer in sorted(counts):
+        targets = ", ".join(sorted(layer_edges.get(layer, ()))) or "(stdlib only)"
+        lines.append(f"{layer:14s} ({counts[layer]:3d} modules) -> {targets}")
+    return "\n".join(lines)

@@ -1,0 +1,170 @@
+"""The public API lockfile (``api_lock.json``).
+
+The *exported surface* — every module with an ``__all__``, each name
+resolved through re-export chains to its definition and summarized as
+kind + arity — is snapshotted into a committed lockfile. ``check``
+diffs the live surface against the snapshot and fails on any unlocked
+addition, removal or signature change; the explicit workflow is::
+
+    python -m repro.devtools.arch lock          # rewrite the snapshot
+    python -m repro.devtools.arch check --update-lock   # same, then check
+
+so an API change is always a *reviewed diff* of ``api_lock.json``, not
+a silent drift.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.devtools.arch.project import Project
+from repro.devtools.arch.symbols import Signature
+from repro.devtools.model import Finding, Severity, fingerprint
+
+LOCK_FILENAME = "api_lock.json"
+LOCK_SCHEMA = "repro.devtools/api_lock@1"
+LOCK_DRIFT_CODE = "RPA005"
+
+
+def _finding(path: str, message: str) -> Finding:
+    return Finding(
+        code=LOCK_DRIFT_CODE, rule="api-lock-drift", severity=Severity.ERROR,
+        path=path, line=1, col=0, message=message,
+        fingerprint=fingerprint(path, LOCK_DRIFT_CODE, message),
+    )
+
+
+def build_surface(project: Project) -> dict[str, dict[str, dict[str, object]]]:
+    """module -> exported name -> signature summary, fully resolved."""
+    surface: dict[str, dict[str, dict[str, object]]] = {}
+    for mod_name in sorted(project.modules):
+        info = project.modules[mod_name]
+        if info.all_names is None:
+            continue
+        entry: dict[str, dict[str, object]] = {}
+        for name in sorted(info.all_names):
+            origin = project.resolve(mod_name, name)
+            if origin is None:
+                entry[name] = {"kind": "unresolved"}
+                continue
+            origin_module, origin_name = origin
+            if not origin_name:
+                entry[name] = {"kind": "module", "origin": origin_module}
+                continue
+            defining = project.modules.get(origin_module)
+            sig = (
+                defining.defs.get(origin_name)
+                if defining is not None
+                else None
+            )
+            if sig is None:
+                sig = Signature(kind="external")
+            record = sig.to_dict()
+            if origin_module != mod_name:
+                record["origin"] = f"{origin_module}:{origin_name}"
+            entry[name] = record
+        surface[mod_name] = entry
+    return surface
+
+
+def lock_payload(project: Project) -> dict[str, object]:
+    return {"schema": LOCK_SCHEMA, "modules": build_surface(project)}
+
+
+def write_lock(project: Project, path: Path) -> dict[str, object]:
+    payload = lock_payload(project)
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return payload
+
+
+def load_lock(path: Path) -> dict[str, object] | None:
+    if not path.exists():
+        return None
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("schema") != LOCK_SCHEMA:
+        raise ValueError(
+            f"unsupported api lock schema {data.get('schema')!r} in {path}"
+        )
+    return data
+
+
+def _describe(record: dict[str, object]) -> str:
+    kind = record.get("kind", "?")
+    if kind in ("function", "class"):
+        params = record.get("params", [])
+        return f"{kind}({', '.join(params)})"  # type: ignore[arg-type]
+    return str(kind)
+
+
+def check_lock(project: Project, lock_path: Path) -> list[Finding]:
+    """Diff the live exported surface against the committed lockfile."""
+    hint = (
+        "review the change, then run `python -m repro.devtools.arch lock` "
+        "(or `check --update-lock`) to accept it"
+    )
+    locked = load_lock(lock_path)
+    if locked is None:
+        return [
+            _finding(
+                LOCK_FILENAME,
+                f"no {LOCK_FILENAME} at the repo root; run "
+                f"`python -m repro.devtools.arch lock` once and commit it",
+            )
+        ]
+    live = build_surface(project)
+    locked_modules: dict = locked.get("modules", {})  # type: ignore[assignment]
+    findings: list[Finding] = []
+    for mod_name in sorted(set(live) | set(locked_modules)):
+        live_entry = live.get(mod_name)
+        locked_entry = locked_modules.get(mod_name)
+        info = project.modules.get(mod_name)
+        path = info.path if info is not None else LOCK_FILENAME
+        if locked_entry is None:
+            findings.append(
+                _finding(
+                    path,
+                    f"module {mod_name} exports a public surface not in "
+                    f"the lockfile; {hint}",
+                )
+            )
+            continue
+        if live_entry is None:
+            findings.append(
+                _finding(
+                    LOCK_FILENAME,
+                    f"locked module {mod_name} no longer exports "
+                    f"__all__; {hint}",
+                )
+            )
+            continue
+        for name in sorted(set(live_entry) | set(locked_entry)):
+            if name not in locked_entry:
+                findings.append(
+                    _finding(
+                        path,
+                        f"unlocked public name {mod_name}:{name} "
+                        f"({_describe(live_entry[name])}); {hint}",
+                    )
+                )
+            elif name not in live_entry:
+                findings.append(
+                    _finding(
+                        path,
+                        f"locked public name {mod_name}:{name} was "
+                        f"removed; {hint}",
+                    )
+                )
+            elif live_entry[name] != locked_entry[name]:
+                findings.append(
+                    _finding(
+                        path,
+                        f"signature of {mod_name}:{name} changed: "
+                        f"{_describe(locked_entry[name])} -> "
+                        f"{_describe(live_entry[name])}; {hint}",
+                    )
+                )
+    return findings

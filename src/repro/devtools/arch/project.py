@@ -1,0 +1,233 @@
+"""Whole-program view: every parsed module plus docs and fixtures.
+
+:func:`build_project` walks the tree once — ``src/repro`` becomes the
+library symbol table, ``tests``/``benchmarks``/``examples`` become
+*auxiliary* modules (their references count as uses, their telemetry
+assertions are contract claims), markdown docs contribute code-block
+references, and JSON fixtures contribute schema-id occurrences. The
+checks in the sibling modules all run against one :class:`Project`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.devtools.arch.spec import ArchSpec
+from repro.devtools.arch.symbols import ModuleInfo, parse_module
+
+#: Directory names never descended into.
+SKIPPED_DIRS = frozenset({"__pycache__", ".git", ".venv", "build", "dist"})
+
+#: Auxiliary python trees whose references count as symbol uses.
+AUX_DIRS = ("tests", "benchmarks", "examples")
+
+#: Markdown files scanned for code-block references and schema ids.
+DOC_GLOBS = ("docs/*.md", "README.md", "DESIGN.md", "EXPERIMENTS.md",
+             "ALGORITHMS.md")
+
+#: JSON fixture trees scanned for schema-id occurrences.
+FIXTURE_DIRS = ("benchmark_results",)
+
+_DOC_IMPORT_RE = re.compile(
+    r"from\s+(repro[\w.]*)\s+import\s+([\w,\s()]+)"
+)
+_DOC_DOTTED_RE = re.compile(r"\b(repro(?:\.\w+)+)\b")
+_DOC_COUNTER_RE = re.compile(
+    r"\.(?:counter\(\s*\"([\w./]+)\"|counters\[\s*\"([\w./]+)\"\]"
+    r"|gauges\[\s*\"([\w./]+)\"\])"
+)
+
+
+@dataclass
+class SchemaOccurrence:
+    """One ``repro.obs/*@N`` schema id found somewhere in the tree."""
+
+    family: str
+    version: int
+    where: str  # repo-relative path (":line" suffix for python files)
+    kind: str  # "src" | "aux" | "doc" | "fixture"
+
+
+@dataclass
+class Project:
+    """The parsed tree reproarch checks run against."""
+
+    root: Path
+    spec: ArchSpec
+    modules: dict[str, ModuleInfo] = field(default_factory=dict)
+    aux: dict[str, ModuleInfo] = field(default_factory=dict)
+    doc_refs: dict[str, set[str]] = field(default_factory=dict)
+    doc_asserted_obs: set[str] = field(default_factory=set)
+    schema_occurrences: list[SchemaOccurrence] = field(default_factory=list)
+    parse_errors: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def files_checked(self) -> int:
+        return len(self.modules) + len(self.aux)
+
+    def layer_of(self, dotted: str) -> str:
+        """The layer a dotted repro module name belongs to."""
+        parts = dotted.split(".")
+        if len(parts) == 1:
+            return "repro"
+        return parts[1]
+
+    def resolve(
+        self, module: str, name: str, _seen: frozenset | None = None
+    ) -> tuple[str, str] | None:
+        """Follow import-binding chains to the defining module.
+
+        Returns ``(module, name)`` of the definition site; a name that
+        resolves to a submodule returns ``(submodule, "")``; a name
+        that cannot be resolved statically returns None.
+        """
+        seen = _seen or frozenset()
+        if (module, name) in seen:
+            return None
+        seen = seen | {(module, name)}
+        info = self.modules.get(module)
+        if info is None:
+            return (module, name)  # external to the scanned tree
+        if name in info.defs:
+            return (module, name)
+        if name in info.import_bindings:
+            target_mod, target_name = info.import_bindings[name]
+            return self.resolve(target_mod, target_name, seen)
+        if f"{module}.{name}" in self.modules:
+            return (f"{module}.{name}", "")
+        hint = self.spec.lazy_exports.get(module)
+        if hint is not None and info.defines_getattr:
+            return self.resolve(hint, name, seen)
+        return None
+
+
+def module_name_for(path: Path, src_root: Path) -> str:
+    """Dotted module name of a file under ``src`` (e.g. repro.core.config)."""
+    rel = path.relative_to(src_root)
+    parts = list(rel.parts)
+    parts[-1] = parts[-1][: -len(".py")]
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def iter_py_files(base: Path) -> list[Path]:
+    return sorted(
+        p
+        for p in base.rglob("*.py")
+        if not (set(p.parts) & SKIPPED_DIRS)
+    )
+
+
+def _scan_doc(project: Project, path: Path) -> None:
+    text = path.read_text(encoding="utf-8")
+    rel = path.relative_to(project.root).as_posix()
+    for match in _DOC_IMPORT_RE.finditer(text):
+        names = {
+            n
+            for n in re.split(r"[,\s()]+", match.group(2))
+            if n and n != "import"
+        }
+        project.doc_refs.setdefault(match.group(1), set()).update(names)
+    for match in _DOC_DOTTED_RE.finditer(text):
+        parts = match.group(1).split(".")
+        for i in range(1, len(parts)):
+            project.doc_refs.setdefault(
+                ".".join(parts[:i]), set()
+            ).add(parts[i])
+    for match in _DOC_COUNTER_RE.finditer(text):
+        name = match.group(1) or match.group(2) or match.group(3)
+        if name:
+            project.doc_asserted_obs.add(name)
+    from repro.devtools.arch.symbols import SCHEMA_ID_RE
+
+    for match in SCHEMA_ID_RE.finditer(text):
+        project.schema_occurrences.append(
+            SchemaOccurrence(
+                family=f"{match.group(1)}/{match.group(2)}",
+                version=int(match.group(3)),
+                where=rel,
+                kind="doc",
+            )
+        )
+
+
+def _scan_fixture(project: Project, path: Path) -> None:
+    from repro.devtools.arch.symbols import SCHEMA_ID_RE
+
+    rel = path.relative_to(project.root).as_posix()
+    text = path.read_text(encoding="utf-8")
+    for match in SCHEMA_ID_RE.finditer(text):
+        project.schema_occurrences.append(
+            SchemaOccurrence(
+                family=f"{match.group(1)}/{match.group(2)}",
+                version=int(match.group(3)),
+                where=rel,
+                kind="fixture",
+            )
+        )
+
+
+def build_project(root: Path, spec: ArchSpec) -> Project:
+    """Parse the whole repository into a :class:`Project`."""
+    root = root.resolve()
+    project = Project(root=root, spec=spec)
+
+    src_root = root / "src"
+    for path in iter_py_files(src_root / "repro"):
+        rel = path.relative_to(root).as_posix()
+        name = module_name_for(path, src_root)
+        try:
+            info = parse_module(
+                name, rel, path.read_text(encoding="utf-8"),
+                layer=project.layer_of(name),
+            )
+        except SyntaxError as exc:
+            project.parse_errors.append((rel, str(exc)))
+            continue
+        project.modules[name] = info
+
+    for aux_dir in AUX_DIRS:
+        base = root / aux_dir
+        if not base.is_dir():
+            continue
+        for path in iter_py_files(base):
+            rel = path.relative_to(root).as_posix()
+            try:
+                info = parse_module(
+                    rel, rel, path.read_text(encoding="utf-8"), layer=aux_dir
+                )
+            except SyntaxError as exc:
+                project.parse_errors.append((rel, str(exc)))
+                continue
+            project.aux[rel] = info
+
+    for pattern in DOC_GLOBS:
+        for path in sorted(root.glob(pattern)):
+            _scan_doc(project, path)
+
+    for fixture_dir in FIXTURE_DIRS:
+        base = root / fixture_dir
+        if not base.is_dir():
+            continue
+        for suffix in ("*.json", "*.jsonl"):
+            for path in sorted(base.rglob(suffix)):
+                if set(path.parts) & SKIPPED_DIRS:
+                    continue
+                _scan_fixture(project, path)
+
+    # Schema ids found in parsed python land in the occurrence list too,
+    # with line-resolution the text scans cannot offer.
+    for info in sorted(project.modules.values(), key=lambda m: m.path):
+        for family, version, lineno in sorted(info.schema_ids):
+            project.schema_occurrences.append(
+                SchemaOccurrence(family, version, f"{info.path}:{lineno}", "src")
+            )
+    for info in sorted(project.aux.values(), key=lambda m: m.path):
+        for family, version, lineno in sorted(info.schema_ids):
+            project.schema_occurrences.append(
+                SchemaOccurrence(family, version, f"{info.path}:{lineno}", "aux")
+            )
+    return project

@@ -1,0 +1,150 @@
+"""Orchestrates every reproarch check into one report.
+
+:class:`ArchRunner` builds the :class:`~repro.devtools.arch.project.Project`
+once and fans it out to the five check families (layering/cycles,
+exports, lockfile, contracts, deprecations). The resulting
+:class:`ArchReport` is shaped like reprolint's ``LintReport`` so the
+shared reporters in :mod:`repro.devtools.reporting` render both.
+
+Exemptions that matched nothing this run surface as warnings — a stale
+exemption is drift in the spec itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import repro.devtools.arch.contracts as contracts
+import repro.devtools.arch.deprecations as deprecations
+import repro.devtools.arch.exports as exports
+import repro.devtools.arch.graph as graph
+import repro.devtools.arch.lockfile as lockfile
+from repro.devtools.arch.project import Project, build_project
+from repro.devtools.arch.spec import ArchSpec
+from repro.devtools.model import Finding, Severity, fingerprint
+
+PARSE_ERROR_CODE = "RPA000"
+STALE_EXEMPTION_CODE = "RPA012"
+
+
+@dataclass
+class ArchReport:
+    """Outcome of one reproarch run over the whole tree."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    checks_run: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not any(
+            f.severity is Severity.ERROR for f in self.findings
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "tool": "reproarch",
+            "files_checked": self.files_checked,
+            "checks_run": list(self.checks_run),
+            "ok": self.ok,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+#: check name -> callable(project) -> list[Finding]
+CHECKS = (
+    ("layering", graph.check_layering),
+    ("cycles", graph.check_cycles),
+    ("exports", exports.check_exports),
+    ("config-contract", contracts.check_config_contract),
+    ("obs-names", contracts.check_obs_names),
+    ("schema-versions", contracts.check_schema_versions),
+    ("deprecations", deprecations.check_deprecations),
+)
+
+
+class ArchRunner:
+    """Build the project once, run every (selected) check against it."""
+
+    def __init__(
+        self,
+        root: Path,
+        spec: ArchSpec,
+        lock_path: Path | None = None,
+    ) -> None:
+        self.root = root.resolve()
+        self.spec = spec
+        self.lock_path = lock_path or self.root / lockfile.LOCK_FILENAME
+        self._project: Project | None = None
+
+    @property
+    def project(self) -> Project:
+        if self._project is None:
+            self._project = build_project(self.root, self.spec)
+        return self._project
+
+    def _stale_exemptions(self, project: Project) -> list[Finding]:
+        matched = exports.exemption_usage(project)
+        matched |= contracts.config_exemption_usage(project)
+        findings = []
+        for category in ("dead-export", "config-field"):
+            for name in sorted(project.spec.exemptions.get(category, {})):
+                if name in matched:
+                    continue
+                message = (
+                    f"[[exemptions.{category}]] entry {name!r} matched "
+                    f"nothing this run; delete it if the drift is gone"
+                )
+                findings.append(
+                    Finding(
+                        code=STALE_EXEMPTION_CODE,
+                        rule="stale-exemption",
+                        severity=Severity.WARNING,
+                        path=".reproarch.toml",
+                        line=1,
+                        col=0,
+                        message=message,
+                        fingerprint=fingerprint(
+                            ".reproarch.toml", STALE_EXEMPTION_CODE, message
+                        ),
+                    )
+                )
+        return findings
+
+    def run(
+        self, select: frozenset[str] | None = None, check_lock: bool = True
+    ) -> ArchReport:
+        project = self.project
+        findings: list[Finding] = []
+        for rel, error in project.parse_errors:
+            message = f"could not parse: {error}"
+            findings.append(
+                Finding(
+                    code=PARSE_ERROR_CODE,
+                    rule="parse-error",
+                    severity=Severity.ERROR,
+                    path=rel,
+                    line=1,
+                    col=0,
+                    message=message,
+                    fingerprint=fingerprint(rel, PARSE_ERROR_CODE, message),
+                )
+            )
+        ran: list[str] = []
+        for name, check in CHECKS:
+            if select is not None and name not in select:
+                continue
+            ran.append(name)
+            findings.extend(check(project))
+        if check_lock and (select is None or "api-lock" in select):
+            ran.append("api-lock")
+            findings.extend(lockfile.check_lock(project, self.lock_path))
+        if select is None:
+            findings.extend(self._stale_exemptions(project))
+        findings.sort(key=lambda f: (f.path, f.line, f.code, f.message))
+        return ArchReport(
+            findings=findings,
+            files_checked=project.files_checked,
+            checks_run=tuple(ran),
+        )

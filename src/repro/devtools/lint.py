@@ -91,6 +91,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="repo root override (default: nearest pyproject.toml)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1 = in-process, <=0 = one per core); "
+        "findings are identical at any job count",
+    )
     return parser
 
 
@@ -136,7 +143,9 @@ def main(argv: list[str] | None = None) -> int:
         else Baseline.load(baseline_path)
     )
 
-    runner = LintRunner(root=root, rules=rules, baseline=baseline)
+    runner = LintRunner(
+        root=root, rules=rules, baseline=baseline, jobs=opts.jobs
+    )
     report = runner.run(paths)
 
     if opts.write_baseline:

@@ -1,8 +1,10 @@
-"""Reprolint reporters: human text and machine-readable JSON.
+"""Devtools reporters: human text and machine-readable JSON.
 
-Both render a :class:`~repro.devtools.runner.LintReport`; the JSON form
-is what ``make lint-json`` archives under ``benchmark_results/`` for
-trend tracking across PRs.
+Both render any report object exposing ``findings``, ``files_checked``
+and ``to_dict()`` — :class:`~repro.devtools.runner.LintReport` and
+``repro.devtools.arch``'s ArchReport alike. The JSON form is what
+``make lint-json`` archives under ``benchmark_results/`` for trend
+tracking across PRs.
 """
 
 from __future__ import annotations
@@ -10,28 +12,27 @@ from __future__ import annotations
 import json
 
 from repro.devtools.model import Severity
-from repro.devtools.runner import LintReport
 
 
-def render_text(report: LintReport) -> str:
+def render_text(report, tool: str = "reprolint") -> str:
     """One line per finding plus a summary footer."""
     lines = [f.render() for f in report.findings]
     n_err = sum(1 for f in report.findings if f.severity is Severity.ERROR)
     n_warn = len(report.findings) - n_err
     summary = (
-        f"reprolint: {report.files_checked} files, "
+        f"{tool}: {report.files_checked} files, "
         f"{n_err} errors, {n_warn} warnings"
     )
-    suppressed = report.suppressed_inline + report.suppressed_baseline
-    if suppressed:
+    inline = getattr(report, "suppressed_inline", 0)
+    baselined = getattr(report, "suppressed_baseline", 0)
+    if inline + baselined:
         summary += (
-            f" ({report.suppressed_inline} inline-suppressed, "
-            f"{report.suppressed_baseline} baselined)"
+            f" ({inline} inline-suppressed, {baselined} baselined)"
         )
     lines.append(summary if lines else summary + " — clean")
     return "\n".join(lines)
 
 
-def render_json(report: LintReport) -> str:
+def render_json(report) -> str:
     """Stable machine-readable rendering (sorted keys, trailing \\n)."""
     return json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"

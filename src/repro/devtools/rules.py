@@ -57,6 +57,8 @@ TYPED_PUBLIC_MODULES = (
 #: the CLI entry points and the lint report renderer.
 PRINT_ALLOWED_MODULES = (
     "src/repro/cli.py",
+    "src/repro/devtools/__main__.py",
+    "src/repro/devtools/arch/cli.py",
     "src/repro/devtools/lint.py",
     "src/repro/experiments/paper.py",
     "src/repro/obs/perfdb.py",

@@ -6,11 +6,15 @@
 one and call :meth:`LintRunner.run`. Files are visited in sorted order
 and findings are reported sorted by (path, line, code), so output is
 deterministic — the analyzer holds itself to the invariants it checks.
+With ``jobs > 1`` files are analyzed in a process pool;
+``executor.map`` preserves input order, so parallel runs produce
+byte-identical reports.
 """
 
 from __future__ import annotations
 
 import ast
+import concurrent.futures
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
@@ -27,9 +31,10 @@ from repro.devtools.model import (
 from repro.devtools.suppressions import Baseline, parse_suppressions
 
 #: Directory names never descended into.
-SKIPPED_DIRS = {"__pycache__", ".git", ".venv", "build", "dist"}
+SKIPPED_DIRS = frozenset({"__pycache__", ".git", ".venv", "build", "dist"})
 
 PARSE_ERROR_CODE = "RPL000"
+UNKNOWN_SUPPRESSION_CODE = "RPL016"
 
 
 @dataclass
@@ -74,6 +79,12 @@ def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
                 yield candidate
 
 
+def _known_codes() -> frozenset[str]:
+    return frozenset(
+        {rule.code for rule in all_rules()} | {PARSE_ERROR_CODE}
+    )
+
+
 class LintRunner:
     """Run a set of rules over a tree, applying suppressions.
 
@@ -88,6 +99,10 @@ class LintRunner:
     baseline:
         Grandfathered fingerprints; matching findings are dropped and
         counted in ``suppressed_baseline``.
+    jobs:
+        Worker processes for :meth:`run`. 1 (the default) analyzes
+        in-process; 0 or negative uses one worker per core. Findings
+        are identical either way.
     """
 
     def __init__(
@@ -95,10 +110,12 @@ class LintRunner:
         root: Path,
         rules: Iterable[Rule] | None = None,
         baseline: Baseline | None = None,
+        jobs: int = 1,
     ):
         self.root = root.resolve()
         self.rules = list(rules) if rules is not None else all_rules()
         self.baseline = baseline or Baseline()
+        self.jobs = jobs
         self._last_inline_suppressed = 0
 
     def relpath(self, path: Path) -> str:
@@ -115,11 +132,38 @@ class LintRunner:
         (which feed fixture snippets under synthetic paths to exercise
         rule scoping).
         """
+        suppressions = parse_suppressions(source)
+        kept: list[Finding] = []
+        self._last_inline_suppressed = 0
+
+        known = _known_codes()
+        for lineno, kind, codes in suppressions.pragmas:
+            for code in sorted(codes - known):
+                message = (
+                    f"pragma {kind}={code} names an unknown rule; it "
+                    f"suppresses nothing (known codes are RPL0xx — see "
+                    f"--list-rules)"
+                )
+                kept.append(
+                    Finding(
+                        code=UNKNOWN_SUPPRESSION_CODE,
+                        rule="unknown-suppression",
+                        severity=Severity.WARNING,
+                        path=relpath,
+                        line=lineno,
+                        col=0,
+                        message=message,
+                        fingerprint=fingerprint(
+                            relpath, UNKNOWN_SUPPRESSION_CODE, message
+                        ),
+                    )
+                )
+
         try:
             tree = ast.parse(source)
         except SyntaxError as exc:
             lineno = exc.lineno or 1
-            return [
+            kept.append(
                 Finding(
                     code=PARSE_ERROR_CODE,
                     rule="parse-error",
@@ -130,16 +174,14 @@ class LintRunner:
                     message=f"could not parse module: {exc.msg}",
                     fingerprint=fingerprint(relpath, PARSE_ERROR_CODE, ""),
                 )
-            ]
+            )
+            return kept
         ctx = ModuleContext(
             path=relpath,
             source=source,
             tree=tree,
             lines=source.splitlines(),
         )
-        suppressions = parse_suppressions(source)
-        kept: list[Finding] = []
-        self._last_inline_suppressed = 0
         for rule in self.rules:
             if not rule.applies_to(relpath):
                 continue
@@ -150,15 +192,36 @@ class LintRunner:
                     kept.append(finding)
         return kept
 
+    def _check_file(self, path: Path) -> tuple[list[Finding], int]:
+        source = path.read_text(encoding="utf-8")
+        findings = self.check_source(source, self.relpath(path))
+        return findings, self._last_inline_suppressed
+
+    def _results(
+        self, files: list[Path]
+    ) -> Iterator[tuple[list[Finding], int]]:
+        jobs = self.jobs if self.jobs > 0 else None
+        if jobs == 1 or len(files) <= 1:
+            for path in files:
+                yield self._check_file(path)
+            return
+        codes = tuple(rule.code for rule in self.rules)
+        work = [
+            (str(path), self.relpath(path), codes) for path in files
+        ]
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=jobs
+        ) as executor:
+            # map() yields in submission order: parallel == serial output.
+            yield from executor.map(_check_one, work, chunksize=8)
+
     def run(self, paths: Iterable[Path]) -> LintReport:
         """Analyze every python file under ``paths``."""
         report = LintReport()
-        for path in iter_python_files(paths):
-            relpath = self.relpath(path)
-            source = path.read_text(encoding="utf-8")
-            findings = self.check_source(source, relpath)
+        files = list(iter_python_files(paths))
+        for findings, inline_suppressed in self._results(files):
             report.files_checked += 1
-            report.suppressed_inline += self._last_inline_suppressed
+            report.suppressed_inline += inline_suppressed
             for finding in findings:
                 if self.baseline.contains(finding):
                     report.suppressed_baseline += 1
@@ -166,3 +229,22 @@ class LintRunner:
                     report.findings.append(finding)
         report.findings.sort(key=lambda f: (f.path, f.line, f.code))
         return report
+
+
+def _check_one(
+    work: tuple[str, str, tuple[str, ...]]
+) -> tuple[list[Finding], int]:
+    """Process-pool worker: analyze one file by path.
+
+    Takes only picklable primitives; rules are re-resolved from the
+    registry by code inside the worker process.
+    """
+    path_str, relpath, codes = work
+    from repro.devtools.model import get_rule
+
+    runner = LintRunner(
+        root=Path(path_str).parent, rules=[get_rule(c) for c in codes]
+    )
+    source = Path(path_str).read_text(encoding="utf-8")
+    findings = runner.check_source(source, relpath)
+    return findings, runner._last_inline_suppressed

@@ -41,10 +41,16 @@ class SuppressionIndex:
 
     ``by_line`` maps a 1-based line number to the rule codes disabled on
     that line; ``file_wide`` holds codes disabled for the whole module.
+    ``pragmas`` records every parsed pragma as ``(lineno, kind, codes)``
+    so the runner can flag pragmas naming unknown rules (RPL016) — a
+    typo'd code silently suppresses nothing.
     """
 
     by_line: dict[int, set[str]] = field(default_factory=dict)
     file_wide: set[str] = field(default_factory=set)
+    pragmas: list[tuple[int, str, frozenset[str]]] = field(
+        default_factory=list
+    )
 
     def is_suppressed(self, finding: Finding) -> bool:
         if finding.code in self.file_wide:
@@ -66,6 +72,7 @@ def parse_suppressions(source: str) -> SuppressionIndex:
             continue
         codes = {c.strip() for c in match.group("codes").split(",")}
         kind = match.group("kind")
+        index.pragmas.append((lineno, kind, frozenset(codes)))
         if kind == "disable-file":
             index.file_wide.update(codes)
         elif kind == "disable-next-line":

@@ -1,0 +1,43 @@
+"""The reproarch CI gate: the tree must satisfy its own contract.
+
+Tier-1: a layering break, an unlocked API change, telemetry-name or
+schema drift, a dead export, or an overdue deprecation shim anywhere in
+the repo fails this test — the same outcome as ``make arch-gate``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.devtools.arch import (
+    LOCK_FILENAME,
+    SPEC_FILENAME,
+    ArchReport,
+    ArchRunner,
+    ArchSpec,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_tree_satisfies_architecture_contract():
+    spec = ArchSpec.load(REPO_ROOT / SPEC_FILENAME)
+    runner = ArchRunner(root=REPO_ROOT, spec=spec)
+    report = runner.run()
+    assert isinstance(report, ArchReport)
+    assert report.files_checked > 100
+    assert report.ok, "\n" + "\n".join(f.render() for f in report.findings)
+
+
+def test_api_lockfile_is_committed():
+    assert (REPO_ROOT / LOCK_FILENAME).exists(), (
+        f"{LOCK_FILENAME} missing: run `python -m repro.devtools.arch lock`"
+    )
+
+
+def test_spec_registers_every_layer():
+    spec = ArchSpec.load(REPO_ROOT / SPEC_FILENAME)
+    src = REPO_ROOT / "src" / "repro"
+    packages = {p.name for p in src.iterdir() if (p / "__init__.py").exists()}
+    missing = packages - set(spec.layers)
+    assert not missing, f"layers missing from {SPEC_FILENAME}: {missing}"

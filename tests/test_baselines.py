@@ -5,7 +5,12 @@ import math
 import numpy as np
 import pytest
 
-from repro.baselines import SliceFinder, SliceLine
+from repro.baselines import (
+    SliceFinder,
+    SliceFinderResult,
+    SliceLine,
+    SliceLineResult,
+)
 from repro.baselines.slicefinder import effect_size
 from repro.core.items import CategoricalItem, IntervalItem
 from repro.tabular import Table
@@ -54,6 +59,7 @@ class TestSliceFinder:
             table, errors, items
         )
         assert found
+        assert all(isinstance(r, SliceFinderResult) for r in found)
         best = max(found, key=lambda r: r.effect_size)
         assert best.effect_size >= 0.4
         # The slice involves the planted region.
@@ -123,6 +129,7 @@ class TestSliceLine:
             table, errors, items
         )
         assert found
+        assert all(isinstance(r, SliceLineResult) for r in found)
         best = found[0]
         assert best.avg_error > errors.mean()
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.baselines import ErrorTree
+from repro.baselines import ErrorTree, ErrorTreeResult
 from repro.core.outcomes import array_outcome
 from repro.tabular import Table
 
@@ -21,6 +21,7 @@ def peak_like(rng):
 def test_finds_the_pocket(peak_like):
     table, o = peak_like
     results = ErrorTree(min_support=0.05).find(table, o, k=3)
+    assert all(isinstance(r, ErrorTreeResult) for r in results)
     best = results[0]
     assert best.divergence > 0.15
     assert best.mean_loss > 0.3

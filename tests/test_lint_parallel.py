@@ -1,0 +1,98 @@
+"""Parallel reprolint runs and suppression-pragma edge cases.
+
+The process-pool runner must be a pure optimization: findings, counts
+and ordering identical to the serial path at any job count. Pragma
+parsing must handle placement and multi-code edge cases, and a pragma
+naming an unknown rule must warn (RPL016) instead of silently
+suppressing nothing.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.devtools import Baseline, LintRunner
+from repro.devtools.runner import UNKNOWN_SUPPRESSION_CODE
+from repro.devtools.suppressions import parse_suppressions
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+LIB_PATH = "src/repro/somemodule.py"
+
+
+def lint(source: str, path: str = LIB_PATH) -> list:
+    runner = LintRunner(root=Path("."))
+    return runner.check_source(textwrap.dedent(source), path)
+
+
+class TestPragmaEdgeCases:
+    def test_disable_file_after_code_still_applies_file_wide(self):
+        # The pragma sits on the LAST line, after the violation above it.
+        src = (
+            "import time\n"
+            "start = time.time()\n"
+            "# reprolint: disable-file=RPL010\n"
+        )
+        assert [f.code for f in lint(src)] == []
+
+    def test_multiple_codes_on_one_pragma(self):
+        src = (
+            "import time, random\n"
+            "x = time.time() + random.random()"
+            "  # reprolint: disable=RPL010, RPL002\n"
+        )
+        assert [f.code for f in lint(src)] == []
+        index = parse_suppressions(src)
+        assert index.by_line[2] == {"RPL010", "RPL002"}
+        [(lineno, kind, codes)] = index.pragmas
+        assert (lineno, kind) == (2, "disable") and codes == {
+            "RPL010", "RPL002",
+        }
+
+    def test_disable_next_line_does_not_leak_further(self):
+        src = (
+            "import time\n"
+            "# reprolint: disable-next-line=RPL010\n"
+            "a = time.time()\n"
+            "b = time.time()\n"
+        )
+        assert [f.code for f in lint(src)] == ["RPL010"]
+
+    def test_unknown_rule_id_warns(self):
+        src = "x = 1  # reprolint: disable=RPL999\n"
+        findings = lint(src)
+        assert [f.code for f in findings] == [UNKNOWN_SUPPRESSION_CODE]
+        assert "RPL999" in findings[0].message
+        assert findings[0].line == 1
+
+    def test_unknown_rule_id_alongside_known_one(self):
+        src = (
+            "import time\n"
+            "x = time.time()  # reprolint: disable=RPL010,RPL777\n"
+        )
+        codes = [f.code for f in lint(src)]
+        # RPL010 is suppressed; the typo'd code is reported.
+        assert codes == [UNKNOWN_SUPPRESSION_CODE]
+
+    def test_known_codes_do_not_warn(self):
+        src = "import time\nx = time.time()  # reprolint: disable=RPL010\n"
+        assert [f.code for f in lint(src)] == []
+
+
+class TestParallelLint:
+    def run_over_devtools(self, jobs: int):
+        return LintRunner(
+            root=REPO_ROOT, baseline=Baseline(), jobs=jobs
+        ).run([REPO_ROOT / "src" / "repro" / "devtools"])
+
+    def test_parallel_matches_serial(self):
+        serial = self.run_over_devtools(jobs=1)
+        parallel = self.run_over_devtools(jobs=2)
+        assert parallel.files_checked == serial.files_checked > 0
+        assert parallel.suppressed_inline == serial.suppressed_inline
+        assert parallel.findings == serial.findings
+        assert parallel.to_dict() == serial.to_dict()
+
+    def test_zero_jobs_means_per_core(self):
+        report = self.run_over_devtools(jobs=0)
+        assert report.files_checked > 0
