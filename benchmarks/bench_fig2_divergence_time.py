@@ -10,7 +10,7 @@ ranking are identical. The whole registry lands in
 ``benchmark_results/BENCH_fig2_divergence_time.json``.
 """
 
-from conftest import run_once
+from conftest import RESULTS_DIR, run_once
 
 from repro.core.config import ExploreConfig
 from repro.core.hexplorer import HDivExplorer
@@ -19,14 +19,18 @@ from repro.core.mining.generalized import generalized_universe
 from repro.core.mining.transactions import mine
 from repro.experiments import render_table
 from repro.experiments.figures import FIGURE2_DATASETS, figure2
-from repro.obs import ObsCollector
+from repro.obs import EventStream, ObsCollector, event_counts, write_chrome_trace
 
 PARITY_SUPPORT = 0.1
 
 
 def _hierarchical_run(ctx, n_jobs):
-    """Compas hierarchical bitset exploration with a private collector."""
-    obs = ObsCollector()
+    """Compas hierarchical bitset exploration with a private collector.
+
+    The collector streams events so the parity phase can also compare
+    the deterministic event counts across ``n_jobs``.
+    """
+    obs = ObsCollector(events=EventStream())
     config = ExploreConfig(
         min_support=PARITY_SUPPORT, backend="bitset", n_jobs=n_jobs, obs=obs,
     )
@@ -37,7 +41,7 @@ def _hierarchical_run(ctx, n_jobs):
         (str(r.itemset), round(r.divergence, 12))
         for r in result.top_k(50, by="abs_divergence")
     ]
-    return ranking, dict(obs.counters)
+    return ranking, dict(obs.counters), obs
 
 
 def _drilldown(obs, ctx):
@@ -111,14 +115,27 @@ def test_figure2(benchmark, emit, sweep_contexts):
     assert obs.counter("cover_cache.hits") > 0
 
     # -- parity: n_jobs=4 merges to the serial counters and ranking ------
-    serial_rank, serial_counters = _hierarchical_run(
+    serial_rank, serial_counters, serial_obs = _hierarchical_run(
         sweep_contexts["compas"], n_jobs=1
     )
-    par_rank, par_counters = _hierarchical_run(
+    par_rank, par_counters, par_obs = _hierarchical_run(
         sweep_contexts["compas"], n_jobs=4
     )
     assert par_counters == serial_counters
     assert par_rank == serial_rank
+    # Deterministic event counts are n_jobs-independent too.
+    assert event_counts(par_obs.events) == event_counts(serial_obs.events)
+
+    # -- Chrome trace of the parallel run: one track per worker ----------
+    trace = write_chrome_trace(
+        RESULTS_DIR / "BENCH_fig2_parity_n4.trace.json",
+        events=par_obs.events, name="fig2_parity_n4",
+    )
+    worker_tids = {
+        e["tid"] for e in trace["traceEvents"]
+        if e.get("ph") == "X" and e["tid"] > 0
+    }
+    assert worker_tids and worker_tids <= {1, 2, 3, 4}
 
     emit(
         "fig2_divergence_time",

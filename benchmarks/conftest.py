@@ -23,7 +23,7 @@ from pathlib import Path
 import pytest
 
 from repro.experiments import load_context
-from repro.obs import NULL_OBS, write_bench_json
+from repro.obs import NULL_OBS, write_bench_json, write_chrome_trace
 from repro.obs.perfdb import record_payload, render_report_text, report_payload
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmark_results"
@@ -46,6 +46,10 @@ def emit():
     and appends the payload to the perfdb history. Benches that never
     built a collector still get a (schema-valid, empty-metrics)
     sidecar, so downstream tooling can rely on the file's existence.
+    Collectors that carry spans or an event stream additionally get a
+    ``BENCH_<name>.trace.json`` sibling — a Chrome trace-event file
+    loadable in Perfetto / ``chrome://tracing``, with one track per
+    worker when the run streamed parallel events.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
 
@@ -60,6 +64,12 @@ def emit():
             max_span_depth=max_span_depth,
         )
         record_payload(HISTORY_DIR, payload)
+        if getattr(obs, "events", None) is not None or getattr(
+            obs, "roots", None
+        ):
+            write_chrome_trace(
+                RESULTS_DIR / f"BENCH_{name}.trace.json", obs=obs, name=name
+            )
         _emitted_any = True
 
     return _emit

@@ -55,6 +55,10 @@ TIME_BUDGET = 5.0
 MAX_OBS_OVERHEAD = 0.05
 EPSILON_SECONDS = 0.05
 
+#: Event streaming (collector + live event stream + run-log sink) may
+#: exceed disabled-mode wall time by at most this fraction.
+MAX_EVENTS_OVERHEAD = 0.10
+
 VARIANTS = [(backend, 1) for backend in BACKENDS] + [("bitset", 2)]
 
 
@@ -168,6 +172,47 @@ def obs_main() -> int:
     print(
         f"{'telemetry':20s} {out.name}  "
         f"{'ok' if not errors else 'INVALID'}"
+    )
+
+    # -- live events: run-log validity + streaming overhead budget -------
+    from repro.obs import EventStream, JsonlRunLog
+    from repro.obs.runlog import read_run_log, validate_run_log
+
+    run_log = REPO_ROOT / "benchmark_results" / "smoke_fig2_run.jsonl"
+    if run_log.exists():
+        run_log.unlink()
+
+    def timed_events(log_path=None):
+        sinks = [JsonlRunLog(log_path)] if log_path else []
+        obs_e = ObsCollector(events=EventStream(sinks=sinks))
+        start = time.perf_counter()
+        result = run_hierarchical(ctx, SUPPORT, obs=obs_e)
+        elapsed = time.perf_counter() - start
+        obs_e.events.close()
+        return elapsed, result
+
+    ev_runs = [timed_events(run_log if i == 0 else None) for i in range(3)]
+    t_ev = min(t for t, _ in ev_runs)
+    ev_overhead = (t_ev - t_off) / t_off
+    ev_budget = t_off * (1.0 + MAX_EVENTS_OVERHEAD) + EPSILON_SECONDS
+    ev_status = "ok" if t_ev <= ev_budget else f"TOO SLOW (> {ev_budget:.2f}s)"
+    if t_ev > ev_budget:
+        failures.append("events-overhead")
+    print(
+        f"{'events overhead':20s} off={t_off:.3f}s  on={t_ev:.3f}s  "
+        f"({ev_overhead:+.1%})  {ev_status}"
+    )
+
+    ev_errors = validate_run_log(read_run_log(run_log))
+    if signature(ev_runs[0][1]) != signature(off_runs[0][1]):
+        ev_errors.append("event streaming changed the ResultSet")
+    if ev_errors:
+        failures.append("events")
+        for error in ev_errors:
+            print(f"  events: {error}", file=sys.stderr)
+    print(
+        f"{'events':20s} {run_log.name}  "
+        f"{'ok' if not ev_errors else 'INVALID'}"
     )
 
     if failures:

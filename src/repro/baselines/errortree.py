@@ -70,6 +70,7 @@ class ErrorTree:
         self.min_support = cfg.min_support
         self.criterion = cfg.criterion
         self.max_depth = max_depth
+        self.obs = cfg.obs
         self._discretizer = CombinedTreeDiscretizer(
             min_support=cfg.min_support,
             criterion=cfg.criterion,
@@ -86,24 +87,29 @@ class ErrorTree:
         """Fit the tree and return the top-k divergent leaves.
 
         Leaves are ranked by |divergence| of the loss. The returned
-        subgroups are non-overlapping by construction.
+        subgroups are non-overlapping by construction. With an enabled
+        collector on the config the fit runs inside an ``errortree``
+        span.
         """
         outcomes = coerce_outcome(outcome).values(table)
         global_mean = float(np.nanmean(outcomes))
-        root = self._discretizer.fit(table, outcomes, attributes)
-        results = []
-        for node in root.walk():
-            if not node.is_leaf:
-                continue
-            mean = node.stats.mean
-            results.append(
-                ErrorTreeResult(
-                    itemset=node.itemset(),
-                    support=node.stats.count / table.n_rows,
-                    size=node.stats.count,
-                    mean_loss=mean,
-                    divergence=mean - global_mean,
+        with self.obs.span("errortree", k=k) as span:
+            root = self._discretizer.fit(table, outcomes, attributes)
+            results = []
+            for node in root.walk():
+                if not node.is_leaf:
+                    continue
+                mean = node.stats.mean
+                results.append(
+                    ErrorTreeResult(
+                        itemset=node.itemset(),
+                        support=node.stats.count / table.n_rows,
+                        size=node.stats.count,
+                        mean_loss=mean,
+                        divergence=mean - global_mean,
+                    )
                 )
-            )
+            if self.obs.enabled:
+                span.set(leaves=len(results))
         results.sort(key=lambda r: -abs(r.divergence))
         return results[:k]

@@ -69,8 +69,11 @@ class SliceFinder:
         Minimum effect size for a slice to count as problematic
         (the original's default is 0.4).
     k:
-        Stop after this many problematic slices are found (the level in
-        progress is always completed).
+        Target number of problematic slices. Reaching ``k`` stops the
+        search only at the next level boundary — the level in progress
+        is still evaluated in full, so more than ``k`` slices may be
+        found — and the ``k`` *largest* (by size) of everything found
+        are returned.
     max_length:
         Maximum slice predicate length (default 3).
     min_size:
@@ -102,6 +105,7 @@ class SliceFinder:
         self.k = k
         self.max_level = cfg.max_length if cfg.max_length is not None else math.inf
         self.min_size = min_size
+        self.obs = cfg.obs
 
     def find(
         self,
@@ -113,8 +117,22 @@ class SliceFinder:
 
         ``outcome`` provides the per-instance loss (⊥ rows are ignored
         in loss statistics but still count toward slice size). Returns
-        problematic slices sorted by size, largest first.
+        problematic slices sorted by size, largest first. With an
+        enabled collector on the config the search runs inside a
+        ``slicefinder`` span.
         """
+        with self.obs.span("slicefinder", k=self.k) as span:
+            found = self._find(table, outcome, items)
+            if self.obs.enabled:
+                span.set(found=len(found))
+        return found
+
+    def _find(
+        self,
+        table: Table,
+        outcome: Outcome | np.ndarray,
+        items: Iterable[Item],
+    ) -> list[SliceFinderResult]:
         universe = EncodedUniverse.from_table(
             table, list(items), coerce_outcome(outcome)
         )

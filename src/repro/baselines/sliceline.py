@@ -87,6 +87,7 @@ class SliceLine:
         self.k = k
         self.min_support = cfg.min_support
         self.max_level = cfg.max_length if cfg.max_length is not None else math.inf
+        self.obs = cfg.obs
 
     def find(
         self,
@@ -97,8 +98,21 @@ class SliceLine:
         """Enumerate and score slices; return the top-k by score.
 
         ``outcome`` provides the per-instance error (⊥ rows do not
-        contribute to error averages).
+        contribute to error averages). With an enabled collector on
+        the config the search runs inside a ``sliceline`` span.
         """
+        with self.obs.span("sliceline", k=self.k) as span:
+            results = self._find(table, outcome, items)
+            if self.obs.enabled:
+                span.set(found=len(results))
+        return results
+
+    def _find(
+        self,
+        table: Table,
+        outcome: Outcome | np.ndarray,
+        items: Iterable[Item],
+    ) -> list[SliceLineResult]:
         universe = EncodedUniverse.from_table(
             table, list(items), coerce_outcome(outcome)
         )

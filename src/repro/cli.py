@@ -36,6 +36,7 @@ import sys
 
 from repro.core.config import ExploreConfig
 from repro.core.mining.transactions import BACKENDS
+from repro.obs.events import RunCancelled
 from repro.core.explorer import DivExplorer
 from repro.core.hexplorer import HDivExplorer
 from repro.core.session import ExploreSession
@@ -118,16 +119,40 @@ def cmd_generate(args) -> int:
 
 
 def _build_obs(args):
-    """An ObsCollector when --trace/--metrics-out/--profile-memory asked."""
-    if (
+    """An ObsCollector when an observability flag asked for one.
+
+    ``--trace``/``--metrics-out``/``--profile-memory`` want the span
+    tree and metrics registry; ``--progress``/``--run-log``/
+    ``--deadline`` additionally want a live event stream, with a
+    throttled TTY renderer and/or an append-only JSONL run log as
+    sinks (``--deadline`` alone still streams: the cancellation event
+    must land somewhere inspectable).
+    """
+    want_events = bool(
+        getattr(args, "progress", False)
+        or getattr(args, "run_log", None)
+        or getattr(args, "deadline", None) is not None
+    )
+    if not (
         getattr(args, "trace", None)
         or getattr(args, "metrics_out", None)
         or getattr(args, "profile_memory", False)
+        or want_events
     ):
-        from repro.obs import ObsCollector
+        return None
+    from repro.obs import ObsCollector
 
+    if not want_events:
         return ObsCollector()
-    return None
+    from repro.obs import EventStream, JsonlRunLog, ProgressRenderer
+
+    sinks = []
+    if getattr(args, "run_log", None):
+        meta = {"command": getattr(args, "command", None), "csv": args.csv}
+        sinks.append(JsonlRunLog(args.run_log, meta=meta))
+    if getattr(args, "progress", False):
+        sinks.append(ProgressRenderer())
+    return ObsCollector(events=EventStream(sinks=sinks))
 
 
 def _write_obs(args, obs) -> None:
@@ -151,6 +176,11 @@ def _write_obs(args, obs) -> None:
     if args.metrics_out:
         write_metrics(obs, args.metrics_out)
         print(f"wrote metrics to {args.metrics_out}")
+    events = getattr(obs, "events", None)
+    if events is not None:
+        events.close()
+        if getattr(args, "run_log", None):
+            print(f"wrote run log to {args.run_log}")
 
 
 def _explore_config(args, obs=None) -> ExploreConfig:
@@ -172,6 +202,7 @@ def _explore_config(args, obs=None) -> ExploreConfig:
         },
         obs=obs,
         profile_memory=getattr(args, "profile_memory", False) and obs is not None,
+        deadline_s=getattr(args, "deadline", None),
     )
 
 
@@ -389,6 +420,21 @@ def build_parser() -> argparse.ArgumentParser:
             help="track tracemalloc peak allocations per span "
             "(slows the run; timings are not comparable)",
         )
+        p.add_argument(
+            "--progress", action="store_true",
+            help="render throttled per-phase progress lines with ETA "
+            "on stderr while the run streams events",
+        )
+        p.add_argument(
+            "--run-log", metavar="FILE", dest="run_log",
+            help="append the structured event stream to FILE as "
+            "schema-tagged JSONL (replay with python -m repro.obs.tail)",
+        )
+        p.add_argument(
+            "--deadline", type=float, default=None, metavar="SECONDS",
+            help="cancel the run cooperatively after SECONDS "
+            "(checked at phase and shard boundaries)",
+        )
 
     p = sub.add_parser("explore", help="find divergent subgroups in a CSV")
     add_explore_flags(p)
@@ -456,7 +502,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except RunCancelled as exc:
+        # The run log (if any) already holds the partial event stream
+        # including the terminal "cancelled" event — each line is
+        # flushed as it is written.
+        print(f"run cancelled: {exc}", file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":

@@ -83,6 +83,15 @@ class ExploreConfig:
         stay zero-cost. Like ``obs`` it never affects results and is
         excluded from equality, :meth:`to_dict` and
         :meth:`fingerprint`.
+    deadline_s:
+        Optional cooperative deadline in seconds. The explorers arm a
+        :class:`repro.obs.RunController` at run start and check it at
+        phase and shard boundaries; a run past the deadline raises
+        :class:`repro.obs.RunCancelled` carrying the partial event
+        log. ``None`` (the default) disables the checks entirely.
+        Completed runs are bit-identical with or without a deadline,
+        so — like the other observability fields — it is excluded
+        from equality, :meth:`to_dict` and :meth:`fingerprint`.
     """
 
     min_support: float = 0.05
@@ -94,6 +103,7 @@ class ExploreConfig:
     n_jobs: int = 1
     obs: AnyCollector = field(default=NULL_OBS, compare=False, repr=False)
     profile_memory: bool = field(default=False, compare=False, repr=False)
+    deadline_s: float | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not 0.0 < self.min_support <= 1.0:
@@ -108,6 +118,16 @@ class ExploreConfig:
             raise ValueError("max_length must be positive")
         if self.obs is None:
             object.__setattr__(self, "obs", NULL_OBS)
+        if self.deadline_s is not None:
+            if not self.deadline_s > 0:
+                raise ValueError("deadline_s must be positive")
+            if self.obs is NULL_OBS:
+                # Deadline checks flow through the collector's
+                # checkpoint(), so an enabled collector is required; a
+                # private one keeps NULL_OBS itself inert.
+                from repro.obs.collector import ObsCollector
+
+                object.__setattr__(self, "obs", ObsCollector())
         if self.profile_memory:
             # Profiling lives on the collector (NULL_OBS: no-op), so a
             # frozen config can switch it on without holding state.
@@ -120,15 +140,16 @@ class ExploreConfig:
     def to_dict(self) -> dict[str, object]:
         """The result-affecting fields as a plain dict.
 
-        The ``obs`` collector and the ``profile_memory`` switch are
-        excluded: neither changes results, so two configs that differ
-        only in observability serialize (and fingerprint) identically.
+        The ``obs`` collector, the ``profile_memory`` switch and the
+        ``deadline_s`` budget are excluded: none of them changes the
+        results of a completed run, so two configs that differ only in
+        observability serialize (and fingerprint) identically.
         ``from_dict`` is the exact inverse.
         """
         return {
             f.name: getattr(self, f.name)
             for f in dataclasses.fields(self)
-            if f.name not in ("obs", "profile_memory")
+            if f.name not in ("obs", "profile_memory", "deadline_s")
         }
 
     @classmethod
@@ -138,6 +159,7 @@ class ExploreConfig:
         *,
         obs: AnyCollector | None = None,
         profile_memory: bool = False,
+        deadline_s: float | None = None,
     ) -> "ExploreConfig":
         """The exact inverse of :meth:`to_dict`.
 
@@ -145,8 +167,8 @@ class ExploreConfig:
         their defaults) and raises :class:`ValueError` on unknown keys —
         a misspelled knob must not silently fall back to a default, or
         the round-tripped fingerprint would lie. The observability
-        fields (``obs``, ``profile_memory``) are not part of the
-        serialized form and are supplied separately.
+        fields (``obs``, ``profile_memory``, ``deadline_s``) are not
+        part of the serialized form and are supplied separately.
         """
         unknown = sorted(set(data) - _SERIALIZED_FIELDS)
         if unknown:
@@ -154,7 +176,10 @@ class ExploreConfig:
                 f"unknown ExploreConfig keys: {unknown} "
                 f"(expected a subset of {sorted(_SERIALIZED_FIELDS)})"
             )
-        return cls(obs=obs, profile_memory=profile_memory, **data)  # type: ignore[arg-type]
+        return cls(
+            obs=obs, profile_memory=profile_memory, deadline_s=deadline_s,
+            **data,  # type: ignore[arg-type]
+        )
 
     def fingerprint(self, keys: "Iterable[str] | None" = None) -> str:
         """Stable short hash of the result-affecting configuration.
@@ -185,8 +210,10 @@ class ExploreConfig:
 _FIELD_NAMES = frozenset(f.name for f in dataclasses.fields(ExploreConfig))
 
 #: The fields that appear in ``to_dict()`` / ``from_dict()`` — every
-#: result-affecting knob, excluding the observability pair.
-_SERIALIZED_FIELDS = frozenset(_FIELD_NAMES - {"obs", "profile_memory"})
+#: result-affecting knob, excluding the observability trio.
+_SERIALIZED_FIELDS = frozenset(
+    _FIELD_NAMES - {"obs", "profile_memory", "deadline_s"}
+)
 
 
 def resolve_config(

@@ -232,6 +232,8 @@ class TreeDiscretizer:
                 span.set(
                     nodes=len(tree.nodes()), leaves=len(tree.leaf_items())
                 )
+        self.obs.progress("discretize", advance=1, attribute=attribute)
+        self.obs.checkpoint("discretize")
         return tree
 
     def fit_all(
@@ -248,6 +250,7 @@ class TreeDiscretizer:
         if attributes is None:
             attributes = table.continuous_names
         outcomes = self._outcome_array(table, outcome)
+        self.obs.progress("discretize", advance=0, expect=len(attributes))
         return {a: self.fit(table, a, outcomes) for a in attributes}
 
     def hierarchy_set(

@@ -137,6 +137,9 @@ class DivExplorer:
         returned :class:`ResultSet`.
         """
         obs = self.obs
+        # Deadline coverage starts at mining; encoding (in explore())
+        # has no cooperative checkpoints.
+        obs.arm_deadline(self.config.deadline_s)
         start = time.perf_counter()
         with obs.span("mine", polarity=self.polarity):
             if self.polarity:

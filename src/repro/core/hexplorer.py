@@ -160,6 +160,10 @@ class HDivExplorer:
                 a for a in continuous_attributes if a not in gamma
             ]
         obs = self.obs
+        # A configured deadline_s starts counting here; the collector
+        # checkpoints (per attribute fitted, per shard mined) raise
+        # RunCancelled once it expires.
+        obs.arm_deadline(self.config.deadline_s)
         # The explicit perf_counter pairs stay (the NullCollector's
         # spans record nothing): last_discretization_seconds_ and
         # ResultSet.elapsed_seconds must be populated either way.
@@ -177,6 +181,7 @@ class HDivExplorer:
             include_missing_items=self.include_missing_items,
             obs=obs,
         )
+        obs.checkpoint("encode")
         start = time.perf_counter()
         with obs.span("mine", polarity=self.polarity):
             if self.polarity:

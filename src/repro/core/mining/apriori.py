@@ -68,10 +68,17 @@ BitsetEngine`), candidate masks are packed uint64 covers: the
         obs.count("mining.candidates", universe.n_items())
         obs.count("mining.support_pruned", universe.n_items() - len(frontier))
         obs.count("mining.rows_scanned", universe.n_items() * n_rows)
+    # Level-wise mining has no per-root boundary, so progress is
+    # announced up front and advanced in one bulk step at the end —
+    # the *final* done value matches the per-root backends and the
+    # parallel shard count (the event_counts invariant).
+    n_roots = len(frontier)
+    obs.progress("mine", advance=0, expect=n_roots)
 
     length = 1
     frequent_prev = {ids for ids, _ in frontier}
     while frontier and (max_length is None or length < max_length):
+        obs.checkpoint("mine")
         frontier.sort(key=lambda e: e[0])
         next_frontier: list[tuple[tuple[int, ...], np.ndarray]] = []
         next_frequent: set[tuple[int, ...]] = set()
@@ -104,6 +111,7 @@ BitsetEngine`), candidate masks are packed uint64 covers: the
         frontier = next_frontier
         frequent_prev = next_frequent
         length += 1
+    obs.progress("mine", advance=n_roots, levels=length)
     if obs.enabled:
         span = obs.current_span()
         if span is not None:

@@ -395,6 +395,12 @@ class BitsetEngine:
         can_extend = max_length is None or len(prefix) + 1 < max_length
         kept_codes = self._attr_codes[kept_ids]
         id_list = kept_ids.tolist()
+        top_level = not prefix
+        if top_level:
+            # Work accounting in frequent level-1 roots — the same unit
+            # the parallel fan-out counts shards in, so progress totals
+            # are identical across n_jobs.
+            self.obs.progress("mine", advance=0, expect=len(id_list))
         for pos, i in enumerate(id_list):
             itemset = prefix + (i,)
             results.append(
@@ -406,16 +412,18 @@ class BitsetEngine:
                     float(totals_sq[pos]),
                 )
             )
-            if not can_extend:
-                continue
-            rest = kept_ids[pos + 1 :]
-            if rest.size:
-                nxt = rest[kept_codes[pos + 1 :] != kept_codes[pos]]
-                if nxt.size:
-                    self._extend(
-                        itemset, kept_covers[pos], nxt,
-                        min_count, max_length, results,
-                    )
+            if can_extend:
+                rest = kept_ids[pos + 1 :]
+                if rest.size:
+                    nxt = rest[kept_codes[pos + 1 :] != kept_codes[pos]]
+                    if nxt.size:
+                        self._extend(
+                            itemset, kept_covers[pos], nxt,
+                            min_count, max_length, results,
+                        )
+            if top_level:
+                self.obs.progress("mine", root=i)
+                self.obs.checkpoint("mine")
 
     def __repr__(self) -> str:
         kind = "boolean" if self.boolean else "numeric"

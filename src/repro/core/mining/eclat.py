@@ -73,20 +73,27 @@ BitsetEngine`), tid-sets live as packed uint64 covers and the DFS runs
             obs.count("mining.candidates", len(candidates))
             obs.count("mining.support_pruned", len(candidates) - len(survivors))
             obs.count("mining.rows_scanned", len(candidates) * n_rows)
+        top_level = not prefix
+        if top_level:
+            # Progress in frequent level-1 roots — the parallel shard
+            # unit, so totals match across n_jobs.
+            obs.progress("mine", advance=0, expect=len(survivors))
         for pos, (i, mask) in enumerate(survivors):
             itemset = prefix + (i,)
             results.append(
                 MinedItemset(frozenset(itemset), universe.stats_of_mask(mask))
             )
-            if max_length is not None and len(itemset) >= max_length:
-                continue
-            narrowed = [
-                (j, mask_j)
-                for j, mask_j in survivors[pos + 1 :]
-                if attr[j] != attr[i]
-            ]
-            if narrowed:
-                extend(itemset, mask, narrowed)
+            if max_length is None or len(itemset) < max_length:
+                narrowed = [
+                    (j, mask_j)
+                    for j, mask_j in survivors[pos + 1 :]
+                    if attr[j] != attr[i]
+                ]
+                if narrowed:
+                    extend(itemset, mask, narrowed)
+            if top_level:
+                obs.progress("mine", root=i)
+                obs.checkpoint("mine")
 
     extend((), np.ones(universe.n_rows, dtype=bool), frequent)
     if obs.enabled:

@@ -169,6 +169,9 @@ BitsetEngine`), the initial frequency scan popcounts packed covers and
 
     results: list[MinedItemset] = []
     attr = universe.attribute_of
+    # Progress in frequent level-1 items (== header items of the top
+    # tree == the parallel shard unit, so totals match across n_jobs).
+    obs.progress("mine", advance=0, expect=len(frequent))
     _mine(
         tree,
         suffix=(),
@@ -178,6 +181,7 @@ BitsetEngine`), the initial frequency scan popcounts packed covers and
         results=results,
         max_length=max_length,
         obs=obs,
+        top=True,
     )
     if obs.enabled:
         span = obs.current_span()
@@ -243,52 +247,62 @@ def _mine(
     results: list[MinedItemset],
     max_length: int | None,
     obs: AnyCollector = NULL_OBS,
+    top: bool = False,
 ) -> None:
     path = _single_path(tree)
     if path is not None:
         _mine_single_path(
             path, suffix, suffix_attrs, min_count, attr, results, max_length
         )
+        if top:
+            # Top-level single-path shortcut: every frequent level-1
+            # item lies on the path; account for all of them at once.
+            obs.progress("mine", advance=len(path))
         return
     # Process header items from least to most frequent (bottom-up).
     items = sorted(tree.header, key=tree.rank.__getitem__, reverse=True)
     for item in items:
+        if top:
+            obs.checkpoint("mine")
         stats = tree.item_stats(item)
-        if stats.count < min_count:
-            continue
-        itemset = suffix + (item,)
-        results.append(MinedItemset(frozenset(itemset), stats))
-        if max_length is not None and len(itemset) >= max_length:
-            continue
-        blocked = suffix_attrs | {attr[item]}
-        # Conditional pattern base, filtered by the attribute rule and
-        # conditional frequency.
-        paths = tree.prefix_paths(item)
-        cond_counts: dict[int, int] = {}
-        for path, node in paths:
-            for p in path:
-                if attr[p] not in blocked:
-                    cond_counts[p] = cond_counts.get(p, 0) + node.count
-        keep = {p for p, c in cond_counts.items() if c >= min_count}
-        if not keep:
-            continue
-        if obs.enabled:
-            obs.count("fpgrowth.conditional_trees")
-        cond_tree = _Tree(tree.rank)
-        for path, node in paths:
-            filtered = [p for p in path if p in keep]
-            if filtered:
-                cond_tree.insert(
-                    filtered, node.count, node.n, node.total, node.total_sq,
-                    presorted=True,
-                )
-        _mine(
-            cond_tree,
-            itemset,
-            blocked,
-            min_count,
-            attr,
-            results,
-            max_length,
-            obs=obs,
-        )
+        if stats.count >= min_count:
+            self_mine = True
+        else:
+            self_mine = False
+        if self_mine:
+            itemset = suffix + (item,)
+            results.append(MinedItemset(frozenset(itemset), stats))
+            if max_length is None or len(itemset) < max_length:
+                blocked = suffix_attrs | {attr[item]}
+                # Conditional pattern base, filtered by the attribute
+                # rule and conditional frequency.
+                paths = tree.prefix_paths(item)
+                cond_counts: dict[int, int] = {}
+                for path, node in paths:
+                    for p in path:
+                        if attr[p] not in blocked:
+                            cond_counts[p] = cond_counts.get(p, 0) + node.count
+                keep = {p for p, c in cond_counts.items() if c >= min_count}
+                if keep:
+                    if obs.enabled:
+                        obs.count("fpgrowth.conditional_trees")
+                    cond_tree = _Tree(tree.rank)
+                    for path, node in paths:
+                        filtered = [p for p in path if p in keep]
+                        if filtered:
+                            cond_tree.insert(
+                                filtered, node.count, node.n, node.total,
+                                node.total_sq, presorted=True,
+                            )
+                    _mine(
+                        cond_tree,
+                        itemset,
+                        blocked,
+                        min_count,
+                        attr,
+                        results,
+                        max_length,
+                        obs=obs,
+                    )
+        if top:
+            obs.progress("mine", root=item)

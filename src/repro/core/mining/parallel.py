@@ -20,17 +20,23 @@ the serial bitset path runs in-process.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import time
+from queue import Empty
 
 from repro.core.mining.bitset import BitsetEngine, raw_to_mined
 from repro.core.mining.transactions import EncodedUniverse, MinedItemset
 from repro.obs.collector import NULL_OBS, AnyCollector, ObsCollector, resolve_obs
+from repro.obs.events import worker_event_queue
 
 _WORKER_ENGINE: BitsetEngine | None = None
+_WORKER_EVENTS = None
 
 
-def _init_worker(engine: BitsetEngine) -> None:
-    global _WORKER_ENGINE
+def _init_worker(engine: BitsetEngine, events_queue=None) -> None:
+    global _WORKER_ENGINE, _WORKER_EVENTS
     _WORKER_ENGINE = engine
+    _WORKER_EVENTS = events_queue
 
 
 def _mine_shard(task):
@@ -43,11 +49,28 @@ def _mine_shard(task):
     memory profiling on, mining additionally runs inside a
     ``mine.shard`` span so the worker's peak allocation comes back as a
     peak-mem dict for the parent to max-merge (``merge_peaks``).
+
+    With ``emit`` set (the parent streams live events), the worker
+    additionally puts a heartbeat message on the shared queue when the
+    shard starts and a completion message when it ends, both tagged
+    with the parent's run ``token`` so a later run on a persistent pool
+    can discard stale messages left behind by a cancelled one.
+    Timestamps are raw ``time.perf_counter()`` values — CLOCK_MONOTONIC
+    under the ``fork`` start method, hence directly comparable with the
+    parent's event-stream origin.
     """
-    root, tail, min_support, max_length, collect, profile = task
+    root, tail, min_support, max_length, collect, profile, emit, token = task
     engine = _WORKER_ENGINE
+    queue = _WORKER_EVENTS if emit else None
+    pid = os.getpid()
+    t0 = time.perf_counter()
+    if queue is not None:
+        queue.put(("hb", token, pid, t0, root))
     if not collect:
-        return engine.mine_subtree(root, tail, min_support, max_length), None, None
+        raw = engine.mine_subtree(root, tail, min_support, max_length)
+        if queue is not None:
+            queue.put(("done", token, pid, t0, time.perf_counter(), root))
+        return raw, None, None
     shard_obs = ObsCollector(profile_memory=profile)
     prev = engine.obs
     engine.obs = shard_obs
@@ -60,6 +83,8 @@ def _mine_shard(task):
     finally:
         engine.obs = prev
         shard_obs.stop_memory_profiling()
+    if queue is not None:
+        queue.put(("done", token, pid, t0, time.perf_counter(), root))
     return raw, dict(shard_obs.counters), dict(shard_obs.mem_peaks)
 
 
@@ -118,11 +143,15 @@ class WorkerPool:
         engine.clear_cache()  # ship a lean engine to the workers
         prev_obs = engine.obs
         engine.obs = NULL_OBS  # collectors stay parent-side
+        # Persistent pools always carry the event queue: whether a given
+        # run streams is decided per task (the ``emit`` flag), and the
+        # workers only touch the queue for emitting tasks.
+        self.events_queue = worker_event_queue(ctx)
         try:
             self._pool = ctx.Pool(
                 processes=n_jobs,
                 initializer=_init_worker,
-                initargs=(engine,),
+                initargs=(engine, self.events_queue),
             )
         finally:
             engine.obs = prev_obs
@@ -139,6 +168,7 @@ class WorkerPool:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
+            self.events_queue.close()
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -200,26 +230,49 @@ def mine_parallel(
         obs.gauge("mining.shards", len(shards))
     collect = obs.enabled
     profile = collect and obs.profile_memory
+    stream = getattr(obs, "events", None)
+    streaming = stream is not None or getattr(obs, "controller", None) is not None
+    # The token ties queue messages to this run: a cancelled run on a
+    # persistent pool leaves its workers draining, and their late
+    # messages must not leak into the next run's event stream.
+    token = (os.getpid(), time.perf_counter_ns()) if streaming else None
     tasks = [
-        (root, tail, min_support, max_length, collect, profile)
+        (root, tail, min_support, max_length, collect, profile,
+         streaming, token)
         for root, tail in shards
     ]
+    # Progress in shards — the same unit as the serial backends'
+    # frequent level-1 roots, so final totals match across n_jobs.
+    obs.progress("mine", advance=0, expect=len(shards))
     if pool is not None:
-        per_shard = pool.run(tasks)
+        if streaming:
+            per_shard = _stream_shards(
+                pool._pool, pool.events_queue, tasks, obs, token
+            )
+        else:
+            per_shard = pool.run(tasks)
     else:
         ctx = _pool_context()
         engine.clear_cache()  # ship a lean engine to the workers
         prev_obs = engine.obs
         engine.obs = NULL_OBS  # collectors stay parent-side
+        queue = worker_event_queue(ctx) if streaming else None
         try:
             with ctx.Pool(
                 processes=min(n_jobs, len(tasks)),
                 initializer=_init_worker,
-                initargs=(engine,),
+                initargs=(engine, queue),
             ) as fresh:
-                per_shard = list(fresh.imap(_mine_shard, tasks, chunksize=1))
+                if streaming:
+                    per_shard = _stream_shards(fresh, queue, tasks, obs, token)
+                else:
+                    per_shard = list(
+                        fresh.imap(_mine_shard, tasks, chunksize=1)
+                    )
         finally:
             engine.obs = prev_obs
+            if queue is not None:
+                queue.close()
     results: list[MinedItemset] = []
     for raw, counters, peaks in per_shard:
         results.extend(raw_to_mined(raw))
@@ -228,6 +281,71 @@ def mine_parallel(
         if peaks:
             obs.merge_peaks(peaks)
     return results
+
+
+def _stream_shards(pool, queue, tasks, obs: AnyCollector, token) -> list:
+    """Run the shard tasks while forwarding live worker events.
+
+    Results come back in task order (``map_async`` with chunk size 1 —
+    the same dynamic scheduling as ``imap``), so order stability is
+    unchanged. While the workers mine, the parent drains the event
+    queue: heartbeats become ``heartbeat`` events, shard completions
+    become ``worker_span`` events plus a ``mine`` progress advance, and
+    every drain iteration is a deadline checkpoint, which is how a
+    ``deadline_s`` interrupts a long parallel mine between shards.
+
+    Worker ids are assigned parent-side in order of first message
+    (1, 2, …) so Chrome traces get small stable per-worker track ids
+    whatever the worker pids are.
+    """
+    async_result = pool.map_async(_mine_shard, tasks, chunksize=1)
+    worker_ids: dict[int, int] = {}
+    while True:
+        obs.checkpoint("mine")
+        try:
+            message = queue.get(timeout=0.05)
+        except Empty:
+            if async_result.ready():
+                break
+            continue
+        _forward_message(message, obs, token, worker_ids)
+    while True:  # late messages that raced the ready() check
+        try:
+            message = queue.get_nowait()
+        except Empty:
+            break
+        _forward_message(message, obs, token, worker_ids)
+    obs.checkpoint("mine")
+    return async_result.get()
+
+
+def _forward_message(message, obs: AnyCollector, token, worker_ids: dict) -> None:
+    """Translate one worker queue message into parent-side events."""
+    kind, msg_token = message[0], message[1]
+    if msg_token != token:
+        return  # stale message from an earlier (cancelled) run
+    stream = getattr(obs, "events", None)
+    origin = stream.origin if stream is not None else 0.0
+    if kind == "hb":
+        _, _, pid, t_abs, root = message
+        wid = worker_ids.setdefault(pid, len(worker_ids) + 1)
+        obs.heartbeat(
+            "mine.shard", worker=wid, t=max(0.0, t_abs - origin), root=root
+        )
+    elif kind == "done":
+        _, _, pid, t0_abs, t1_abs, root = message
+        wid = worker_ids.setdefault(pid, len(worker_ids) + 1)
+        if stream is not None:
+            stream.emit(
+                "worker_span",
+                "mine.shard",
+                worker=wid,
+                t=max(0.0, t1_abs - origin),
+                t0=max(0.0, t0_abs - origin),
+                t1=max(0.0, t1_abs - origin),
+                root=root,
+            )
+        obs.progress("mine", root=root)
 
 
 def _pool_context():

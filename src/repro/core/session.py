@@ -273,6 +273,7 @@ class ExploreSession:
                 f"{sorted(kwargs)}"
             )
         obs = cfg.obs if cfg.obs.enabled else self.obs
+        obs.arm_deadline(cfg.deadline_s)
         with obs.span("explore", fingerprint=cfg.fingerprint()):
             return self._explore(cfg, obs)
 
@@ -314,6 +315,10 @@ class ExploreSession:
         # raises before any mining starts.
         configs = [base.replace(**{param: v}) for v in values]
         obs = base.obs if base.obs.enabled else self.obs
+        # One deadline covers the whole sweep; each completed point
+        # advances the "sweep" progress phase and is a checkpoint.
+        obs.arm_deadline(base.deadline_s)
+        obs.progress("sweep", advance=0, expect=len(values))
         points: list[SweepPoint] = []
         t0 = time.perf_counter()
         with obs.span("sweep", param=param, n_points=len(values)) as root:
@@ -325,6 +330,8 @@ class ExploreSession:
                 elapsed = time.perf_counter() - p0
                 hits, misses = _cache_delta(obs, before)
                 span.set(cache_hits=hits, cache_misses=misses)
+                obs.progress("sweep", value=repr(value))
+                obs.checkpoint("sweep")
                 points.append(
                     SweepPoint(
                         value=value,

@@ -7,10 +7,11 @@ Three contracts that per-file linting cannot see:
   settable from the CLI, or explicitly exempted with a reason. The
   serialization exclusion literals in ``to_dict`` and the module-level
   ``_SERIALIZED_FIELDS`` definition must agree.
-* **Obs names** — every counter/gauge/span name a test, benchmark or
-  doc code block asserts must actually be emitted by library code
-  (names the file emits itself, e.g. unit-test fixtures, are out of
-  scope; f-string emissions match by prefix).
+* **Obs names** — every counter/gauge/span/progress/heartbeat name a
+  test, benchmark or doc code block asserts — including via
+  ``event_counts`` keys such as ``"progress:mine"`` — must actually be
+  emitted by library code (names the file emits itself, e.g. unit-test
+  fixtures, are out of scope; f-string emissions match by prefix).
 * **Schema ids** — every ``repro.obs/*@N`` string, wherever it occurs
   (src, tests, docs, committed JSON fixtures), must name a version
   declared as a module-level constant in src; snapshot ``.json``
@@ -228,8 +229,8 @@ def check_obs_names(project: Project) -> list[Finding]:
             _finding(
                 OBS_NAME_CODE, "obs-name-drift", where,
                 f"telemetry name {name!r} is asserted here but never "
-                f"emitted by library code (obs.count/gauge/span in "
-                f"src/repro)",
+                f"emitted by library code (obs.count/gauge/span/"
+                f"progress/heartbeat in src/repro)",
             )
         )
 

@@ -19,12 +19,18 @@ from dataclasses import dataclass, field
 #: schema ``"repro.obs/trace@1"`` (family ``obs/trace``, version 1).
 SCHEMA_ID_RE = re.compile(r"repro\.(obs|devtools)/([a-z_]+)@(\d+)")
 
-#: ObsCollector emission methods whose first argument names a metric
-#: or span (see :mod:`repro.obs.collector`).
-OBS_EMIT_METHODS = frozenset({"count", "gauge", "span"})
+#: ObsCollector emission methods whose first argument names a metric,
+#: span, progress phase or heartbeat (see :mod:`repro.obs.collector`).
+OBS_EMIT_METHODS = frozenset({"count", "gauge", "span", "progress", "heartbeat"})
 
 #: Read-side accessors whose literal keys assert that a name exists.
 OBS_ASSERT_SUBSCRIPTS = frozenset({"counters", "gauges"})
+
+#: Matches an ``event_counts`` accounting key, e.g. ``"progress:mine"``
+#: — asserting one pins the event *name* after the colon.
+EVENT_COUNT_KEY_RE = re.compile(
+    r"^(span_open|span_close|progress|counters|heartbeat|worker_span):(.+)$"
+)
 
 
 @dataclass(frozen=True)
@@ -356,6 +362,12 @@ def _asserted_obs_name(node: ast.AST) -> ObsName | None:
         and node.value.attr in OBS_ASSERT_SUBSCRIPTS
     ):
         return _obs_name_from_arg(node.slice)
+    if isinstance(node, ast.Subscript):
+        key = _obs_name_from_arg(node.slice)
+        if key is not None and not key.prefix:
+            match = EVENT_COUNT_KEY_RE.match(key.name)
+            if match is not None:
+                return ObsName(match.group(2))
     return None
 
 

@@ -1,4 +1,4 @@
-"""The reprolint rule catalogue (RPL001–RPL015).
+"""The reprolint rule catalogue (RPL001–RPL017).
 
 Each rule encodes one invariant the reproduction depends on —
 determinism across backends and ``n_jobs``, independence from the
@@ -62,6 +62,7 @@ PRINT_ALLOWED_MODULES = (
     "src/repro/devtools/lint.py",
     "src/repro/experiments/paper.py",
     "src/repro/obs/perfdb.py",
+    "src/repro/obs/tail.py",
 )
 
 #: Wall-clock datetime constructors (RPL014). Timing in the library
@@ -96,6 +97,12 @@ PIPELINE_INTERNAL_CALLS = {
     "mine_bitset",
     "mine_parallel",
 }
+
+#: Queue constructors that open a raw worker→parent side-channel
+#: (RPL017). ``repro.obs.events.worker_event_queue`` is the single
+#: sanctioned construction site — everything it carries reaches the
+#: run log, the progress renderer and the Chrome-trace export.
+MP_QUEUE_CONSTRUCTORS = {"Queue", "SimpleQueue", "JoinableQueue"}
 
 
 def dotted_name(node: ast.AST) -> str | None:
@@ -680,4 +687,40 @@ class PipelineInternalConstructionRule(Rule):
                     f"direct {leaf}() construction outside repro.core: "
                     f"go through ExploreSession / the explorers / the "
                     f"mine() dispatcher instead"
+                )
+
+
+@register
+class RawProgressChannelRule(Rule):
+    code = "RPL017"
+    name = "raw-progress-channel"
+    severity = Severity.ERROR
+    rationale = (
+        "Live run output has exactly one sanctioned channel: the "
+        "repro.obs event stream (print is RPL013's half of the same "
+        "ban). A raw multiprocessing queue built outside repro.obs is "
+        "an ad-hoc worker→parent side-channel the run log, progress "
+        "renderer and Chrome-trace export never see; build it with "
+        "repro.obs.events.worker_event_queue so every message feeds "
+        "the stream."
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return _in_library(path) and not path.startswith("src/repro/obs/")
+
+    def check(self, ctx: ModuleContext) -> Iterator[tuple[ast.AST, str]]:
+        if not _imports_any(ctx.tree, ("multiprocessing", "concurrent")):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if name.split(".")[-1] in MP_QUEUE_CONSTRUCTORS:
+                yield node, (
+                    f"raw {name}() construction in a multiprocessing "
+                    f"module: worker progress must flow through the obs "
+                    f"event stream — use "
+                    f"repro.obs.events.worker_event_queue"
                 )

@@ -28,7 +28,25 @@ from repro.obs.collector import (
     Span,
     resolve_obs,
 )
+from repro.obs.events import (
+    EVENTS_SCHEMA,
+    Event,
+    EventStream,
+    RunCancelled,
+    RunController,
+    as_event_stream,
+    event_counts,
+    to_chrome_trace,
+    worker_event_queue,
+    write_chrome_trace,
+)
 from repro.obs.profile import MemTracker, max_rss_kb
+from repro.obs.runlog import (
+    JsonlRunLog,
+    ProgressRenderer,
+    read_run_log,
+    validate_run_log,
+)
 from repro.obs.report import (
     METRICS_SCHEMA,
     TRACE_SCHEMA,
@@ -69,37 +87,51 @@ def __getattr__(name: str):
 __all__ = [
     "BENCH_SCHEMA",
     "BENCH_SCHEMA_V1",
+    "EVENTS_SCHEMA",
     "METRICS_SCHEMA",
     "NULL_OBS",
     "PERFDB_SCHEMA",
     "TRACE_SCHEMA",
     "AnyCollector",
     "Comparison",
+    "Event",
+    "EventStream",
     "GatePolicy",
+    "JsonlRunLog",
     "MemTracker",
     "NullCollector",
     "ObsCollector",
     "PhaseComparison",
+    "ProgressRenderer",
+    "RunCancelled",
+    "RunController",
     "Span",
     "append_record",
+    "as_event_stream",
     "bench_payload",
     "cache_hit_rate",
     "compare_payload",
     "config_fingerprint",
+    "event_counts",
     "load_history",
     "max_rss_kb",
     "metrics_payload",
     "obs_summary",
+    "read_run_log",
     "record_from_payload",
     "record_payload",
     "render_text",
     "report_payload",
     "resolve_obs",
+    "to_chrome_trace",
     "trace_payload",
     "trim_spans",
     "validate_bench_payload",
     "validate_record",
+    "validate_run_log",
+    "worker_event_queue",
     "write_bench_json",
+    "write_chrome_trace",
     "write_metrics",
     "write_trace",
 ]

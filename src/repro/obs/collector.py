@@ -23,6 +23,12 @@ from __future__ import annotations
 import time
 from typing import Any, Iterator, Mapping
 
+from repro.obs.events import (
+    EventStream,
+    RunController,
+    as_event_stream,
+)
+
 
 class Span:
     """One timed phase of the pipeline, possibly with children.
@@ -128,16 +134,36 @@ class ObsCollector:
         Peak traced allocation per dotted span path (bytes), populated
         only when memory profiling is on. Merging is ``max``, not
         addition — a peak is a high-water mark, not a total.
+    events:
+        Optional live :class:`~repro.obs.events.EventStream` the
+        collector publishes to *during* the run (span open/close,
+        phase progress, worker heartbeats, counter snapshots at root
+        close). ``None`` (the default) keeps the flight-recorder-only
+        behaviour; accepts a stream, a sink, a list of sinks, or
+        ``True`` for a fresh bounded stream.
+    controller:
+        Optional :class:`~repro.obs.events.RunController` consulted by
+        :meth:`checkpoint` at phase/shard boundaries for cooperative
+        deadline/cancellation (usually installed via
+        :meth:`arm_deadline` from ``ExploreConfig(deadline_s=...)``).
     """
 
     enabled: bool = True
 
-    def __init__(self, profile_memory: bool = False) -> None:
+    def __init__(
+        self,
+        profile_memory: bool = False,
+        events: Any = None,
+        controller: RunController | None = None,
+    ) -> None:
         self.counters: dict[str, int] = {}
         self.gauges: dict[str, float] = {}
         self.roots: list[Span] = []
         self.mem_peaks: dict[str, int] = {}
+        self.events: EventStream | None = as_event_stream(events)
+        self.controller = controller
         self._stack: list[Span] = []
+        self._progress: dict[str, list[int | None]] = {}
         self._mem = None
         if profile_memory:
             self.enable_memory_profiling()
@@ -207,6 +233,8 @@ class ObsCollector:
             span._mem_child_peak = 0
             self._mem.reset_peak()
         self._stack.append(span)
+        if self.events is not None:
+            self.events.emit("span_open", span.name, attrs=dict(span.attrs))
 
     def _pop(self, span: Span) -> None:
         # Exiting out of order (a span leaked across a generator) would
@@ -221,6 +249,17 @@ class ObsCollector:
             self._stack[-1].children.append(span)
         else:
             self.roots.append(span)
+        if self.events is not None:
+            self.events.emit(
+                "span_close", span.name, seconds=span.elapsed_seconds
+            )
+            if not self._stack:
+                # One counter snapshot per completed root phase.
+                self.events.emit(
+                    "counters", span.name,
+                    counters={k: self.counters[k]
+                              for k in sorted(self.counters)},
+                )
 
     def _close_mem(self, span: Span) -> None:
         """Record the span's peak window and propagate it outward."""
@@ -269,6 +308,72 @@ class ObsCollector:
         """
         for name, value in counters.items():
             self.counters[name] = self.counters.get(name, 0) + int(value)
+
+    # -- live events / deadline ------------------------------------------
+
+    def progress(
+        self,
+        phase: str,
+        advance: int = 1,
+        expect: int | None = None,
+        **attrs: Any,
+    ) -> None:
+        """Advance a phase's work accounting on the event stream.
+
+        A no-op without an event stream. ``done`` accumulates per
+        phase across calls; ``expect`` *adds* that many units to the
+        phase's expected total (additive, so repeated sub-runs — e.g.
+        the two polarity subspaces — each announce their share), and
+        renderers show ETA once a total is known. The final ``done``
+        value per phase is the deterministic quantity (see
+        :func:`repro.obs.events.event_counts`).
+        """
+        if self.events is None:
+            return
+        state = self._progress.get(phase)
+        if state is None:
+            state = self._progress[phase] = [0, None]
+        if expect is not None:
+            state[1] = (state[1] or 0) + int(expect)
+        state[0] += int(advance)
+        self.events.emit(
+            "progress", phase, done=state[0], total=state[1], **attrs
+        )
+
+    def heartbeat(
+        self,
+        name: str,
+        worker: int = 0,
+        t: float | None = None,
+        **attrs: Any,
+    ) -> None:
+        """Emit a liveness ping (parallel workers, via the parent)."""
+        if self.events is None:
+            return
+        self.events.emit("heartbeat", name, worker=worker, t=t, **attrs)
+
+    def checkpoint(self, where: str = "") -> None:
+        """Cooperative cancellation point (phase/shard boundaries).
+
+        Raises :class:`~repro.obs.events.RunCancelled` when an armed
+        controller is past its deadline or explicitly cancelled; a
+        plain no-op otherwise.
+        """
+        if self.controller is not None:
+            self.controller.check(where, stream=self.events)
+
+    def arm_deadline(self, deadline_s: float | None) -> None:
+        """Install a fresh deadline controller for the upcoming run.
+
+        ``None`` leaves any existing controller untouched. A default
+        bounded event stream is attached if none exists, so a
+        cancelled run always carries a partial event log.
+        """
+        if deadline_s is None:
+            return
+        if self.events is None:
+            self.events = EventStream()
+        self.controller = RunController(deadline_s)
 
     # -- snapshots -------------------------------------------------------
 
@@ -326,6 +431,8 @@ class NullCollector:
     enabled: bool = False
     profile_memory: bool = False
     mem_peaks: Mapping[str, int] = {}
+    events: None = None
+    controller: None = None
 
     def span(self, name: str, **attrs: Any) -> _NullSpan:
         return _NULL_SPAN
@@ -355,6 +462,30 @@ class NullCollector:
         return None
 
     def merge_peaks(self, peaks: Mapping[str, int]) -> None:
+        return None
+
+    def progress(
+        self,
+        phase: str,
+        advance: int = 1,
+        expect: int | None = None,
+        **attrs: Any,
+    ) -> None:
+        return None
+
+    def heartbeat(
+        self,
+        name: str,
+        worker: int = 0,
+        t: float | None = None,
+        **attrs: Any,
+    ) -> None:
+        return None
+
+    def checkpoint(self, where: str = "") -> None:
+        return None
+
+    def arm_deadline(self, deadline_s: float | None) -> None:
         return None
 
     def metrics_dict(self) -> dict[str, Any]:

@@ -120,15 +120,24 @@ def record_from_payload(
 
 
 def validate_record(record: Mapping[str, Any]) -> list[str]:
-    """Schema-check a history record; returns problems (empty = valid)."""
+    """Schema-check a history record; returns problems (empty = valid).
+
+    ``hostname`` is optional metadata: records written by environments
+    that could not resolve one (containers, redacted logs) stay valid
+    and are simply host-anonymous — they only match comparisons run
+    with ``any_host``.
+    """
     problems: list[str] = []
     if record.get("schema") != PERFDB_SCHEMA:
         problems.append(
             f"schema != {PERFDB_SCHEMA!r}: {record.get('schema')!r}"
         )
-    for key in ("bench", "git_sha", "hostname", "recorded_at"):
+    for key in ("bench", "git_sha", "recorded_at"):
         if not isinstance(record.get(key), str) or not record.get(key):
             problems.append(f"{key} missing or empty")
+    host = record.get("hostname")
+    if host is not None and (not isinstance(host, str) or not host):
+        problems.append("hostname present but not a non-empty string")
     fp = record.get("config_fingerprint")
     if not isinstance(fp, str) or len(fp) != 16:
         problems.append("config_fingerprint missing or malformed")
@@ -437,11 +446,19 @@ def compare_payload(
 
 
 def bench_trajectory(records: list[Mapping[str, Any]]) -> dict[str, Any]:
-    """Summary statistics of one bench's history (for ``report``)."""
-    hosts = sorted({str(r.get("hostname")) for r in records})
-    fingerprints = sorted(
-        {str(r.get("config_fingerprint")) for r in records}
-    )
+    """Summary statistics of one bench's history (for ``report``).
+
+    ``hosts`` and ``fingerprints`` are sorted (deterministic output
+    whatever the append order); records without a hostname are
+    tolerated and simply contribute no host entry.
+    """
+    hosts = sorted({
+        r["hostname"] for r in records
+        if isinstance(r.get("hostname"), str) and r["hostname"]
+    })
+    fingerprints = sorted({
+        str(r.get("config_fingerprint")) for r in records
+    })
     totals = [
         sum(v for v in r["phases"].values() if isinstance(v, (int, float)))
         for r in records

@@ -1,0 +1,192 @@
+"""Event-stream sinks: the JSONL run log and the TTY progress renderer.
+
+The run log is the persistent form of the live event stream: one
+header line (schema ``repro.obs/events@1``) followed by one JSON
+object per event, appended and flushed as the run progresses so a
+crashed or cancelled run still leaves a readable log. Replay or follow
+a log with ``python -m repro.obs.tail <run.jsonl>``.
+
+The progress renderer turns ``progress`` events into throttled
+single-line updates with per-phase work accounting and a rate-based
+ETA — attributes discretized, prefix shards mined, sweep points
+completed.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+from pathlib import Path
+from typing import Any, Iterable, TextIO
+
+from repro.obs.events import EVENT_KINDS, EVENTS_SCHEMA, Event
+
+#: Keys every run-log event line must carry.
+_EVENT_KEYS = ("seq", "t", "kind", "name", "worker")
+
+
+class JsonlRunLog:
+    """Append-only JSONL sink: header line + one line per event.
+
+    Opens ``path`` eagerly and flushes after every line — the log is
+    valid (header + complete prefix of the stream) at any instant, so
+    ``repro.obs.tail --follow`` and post-mortem reads of cancelled
+    runs both work.
+    """
+
+    def __init__(self, path: str | Path, meta: dict[str, Any] | None = None):
+        self.path = Path(path)
+        self._file: TextIO | None = self.path.open("w")
+        header: dict[str, Any] = {
+            "schema": EVENTS_SCHEMA,
+            "kind": "header",
+            "clock": "perf_counter",
+        }
+        if meta:
+            header["meta"] = meta
+        self._write_line(header)
+
+    def _write_line(self, record: dict[str, Any]) -> None:
+        if self._file is None:
+            return
+        self._file.write(json.dumps(record, default=str) + "\n")
+        self._file.flush()
+
+    def handle(self, event: Event) -> None:
+        self._write_line(event.to_dict())
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "JsonlRunLog":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        self.close()
+        return False
+
+
+def read_run_log(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a run log into its records (header first), skipping blanks."""
+    records = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def validate_run_log(records: Iterable[dict[str, Any]]) -> list[str]:
+    """Schema-validate parsed run-log records; return error strings.
+
+    Checks the header (first record, correct schema), that every event
+    line carries the required keys with sane types, that ``seq`` is
+    strictly increasing, and that every ``kind`` is known.
+    """
+    errors: list[str] = []
+    records = list(records)
+    if not records:
+        return ["empty run log (no header)"]
+    header = records[0]
+    if header.get("kind") != "header":
+        errors.append("first record is not a header")
+    if header.get("schema") != EVENTS_SCHEMA:
+        errors.append(
+            f"header schema is {header.get('schema')!r}, "
+            f"expected {EVENTS_SCHEMA!r}"
+        )
+    last_seq = -1
+    for i, record in enumerate(records[1:], start=2):
+        for key in _EVENT_KEYS:
+            if key not in record:
+                errors.append(f"line {i}: missing key {key!r}")
+        kind = record.get("kind")
+        if kind is not None and kind not in EVENT_KINDS:
+            errors.append(f"line {i}: unknown kind {kind!r}")
+        t = record.get("t")
+        if t is not None and (not isinstance(t, (int, float)) or t < 0):
+            errors.append(f"line {i}: bad timestamp {t!r}")
+        seq = record.get("seq")
+        if isinstance(seq, int):
+            if seq <= last_seq:
+                errors.append(f"line {i}: seq {seq} not increasing")
+            last_seq = seq
+    return errors
+
+
+class ProgressRenderer:
+    """Throttled progress sink: one line per render, with ETA.
+
+    Renders ``progress`` events at most once per ``min_interval``
+    (event time) per phase — plus always on the first and the final
+    event of a phase — and ``cancelled`` events unconditionally. The
+    ETA is rate-based: elapsed / done * remaining, shown once at least
+    one unit of work and a total are known.
+    """
+
+    def __init__(
+        self,
+        stream: TextIO | None = None,
+        min_interval: float = 0.1,
+    ) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self._last_render: dict[str, float] = {}
+        self._started: dict[str, float] = {}
+
+    def handle(self, event: Event) -> None:
+        if event.kind == "cancelled":
+            attrs = event.attrs
+            self._write(
+                f"[{event.t:8.2f}s] cancelled at {event.name} "
+                f"({attrs.get('reason', 'cancelled')})"
+            )
+            return
+        if event.kind != "progress":
+            return
+        phase = event.name
+        done = int(event.attrs.get("done", 0))
+        total = event.attrs.get("total")
+        if phase not in self._started:
+            self._started[phase] = event.t
+        last = self._last_render.get(phase)
+        finished = total is not None and done >= int(total)
+        if (
+            last is not None
+            and not finished
+            and event.t - last < self.min_interval
+        ):
+            return
+        self._last_render[phase] = event.t
+        self._write(self._format(event.t, phase, done, total))
+
+    def _format(
+        self, t: float, phase: str, done: int, total: Any
+    ) -> str:
+        line = f"[{t:8.2f}s] {phase}: {done}"
+        if total is not None:
+            total = int(total)
+            line += f"/{total}"
+            if total > 0:
+                line += f" ({100.0 * done / total:3.0f}%)"
+            elapsed = t - self._started.get(phase, 0.0)
+            if 0 < done < total and elapsed > 0:
+                eta = elapsed / done * (total - done)
+                line += f" eta {eta:.1f}s"
+            elif done >= total:
+                line += f" done in {elapsed:.1f}s"
+        return line
+
+    def _write(self, line: str) -> None:
+        self._stream.write(line + "\n")
+        try:
+            self._stream.flush()
+        except (OSError, io.UnsupportedOperation):  # closed/odd streams
+            return
+
+    def close(self) -> None:
+        return None

@@ -1,0 +1,113 @@
+"""``python -m repro.obs.tail <run.jsonl>`` — run-log replay/follow viewer.
+
+Replays a JSONL run log (see ``repro.obs.runlog``) as human-readable
+lines, one per event, and closes with the deterministic
+:func:`~repro.obs.events.event_counts` summary. With ``--follow`` the
+file is polled for new lines as a live run appends them (Ctrl-C to
+stop), which makes the viewer usable both post-mortem and while an
+exploration is still streaming.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.obs.events import EVENTS_SCHEMA, event_counts
+from repro.obs.runlog import validate_run_log
+
+
+def format_record(record: dict[str, Any]) -> str:
+    """One human-readable line for a parsed run-log record."""
+    if record.get("kind") == "header":
+        meta = record.get("meta") or {}
+        suffix = f"  {meta}" if meta else ""
+        return f"# run log {record.get('schema', EVENTS_SCHEMA)}{suffix}"
+    t = float(record.get("t", 0.0))
+    kind = str(record.get("kind", "?"))
+    name = str(record.get("name", "?"))
+    worker = int(record.get("worker", 0))
+    attrs = record.get("attrs") or {}
+    line = f"[{t:9.3f}s] {kind:11s} {name}"
+    if worker:
+        line += f"  (worker {worker})"
+    if kind == "progress":
+        done, total = attrs.get("done", 0), attrs.get("total")
+        line += f"  {done}/{total if total is not None else '?'}"
+    elif attrs:
+        rendered = ", ".join(f"{k}={attrs[k]}" for k in sorted(attrs))
+        line += f"  {rendered}"
+    return line
+
+
+def _iter_lines(path: Path, follow: bool, interval: float):
+    """Yield complete lines, optionally polling for appended ones."""
+    with path.open() as fh:
+        while True:
+            line = fh.readline()
+            if line.endswith("\n"):
+                yield line
+            elif follow:
+                time.sleep(interval)
+            else:
+                if line:
+                    yield line
+                return
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.tail",
+        description="Replay (or live-follow) a repro.obs JSONL run log.",
+    )
+    parser.add_argument("path", type=Path, help="run log written by --run-log")
+    parser.add_argument(
+        "--follow", "-f", action="store_true",
+        help="keep polling for new events (Ctrl-C to stop)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=0.2,
+        help="poll interval in seconds for --follow (default 0.2)",
+    )
+    args = parser.parse_args(argv)
+    if not args.path.exists():
+        print(f"no such run log: {args.path}", file=sys.stderr)
+        return 2
+
+    records: list[dict[str, Any]] = []
+    try:
+        for line in _iter_lines(args.path, args.follow, args.interval):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                print(f"! unparseable line: {line[:80]}", file=sys.stderr)
+                continue
+            records.append(record)
+            print(format_record(record))
+    except KeyboardInterrupt:
+        pass
+
+    errors = validate_run_log(records)
+    counts = event_counts(records[1:]) if records else {}
+    if counts:
+        print()
+        print("event counts (deterministic kinds):")
+        for key, value in counts.items():
+            print(f"  {key:40s} {value}")
+    if errors:
+        print()
+        for error in errors:
+            print(f"invalid: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -96,3 +96,59 @@ def test_explore_numeric_outcome(german_csv, capsys):
     )
     assert code == 0
     assert "frequent subgroups" in capsys.readouterr().out
+
+
+def test_explore_progress_and_run_log(german_csv, tmp_path, capsys):
+    from repro.obs.runlog import read_run_log, validate_run_log
+
+    log = tmp_path / "run.jsonl"
+    code = main(
+        [
+            "explore", german_csv, "--kind", "error",
+            "--y-true", "label", "--y-pred", "pred",
+            "--support", "0.2", "--top", "3",
+            "--progress", "--run-log", str(log),
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "wrote run log to" in captured.out
+    # Progress lines render on stderr, ending with the finished form.
+    assert "done in" in captured.err
+    records = read_run_log(log)
+    assert validate_run_log(records) == []
+    kinds = {r["kind"] for r in records[1:]}
+    assert {"span_open", "span_close", "progress"} <= kinds
+
+
+def test_explore_deadline_cancels_with_exit_3(german_csv, tmp_path, capsys):
+    from repro.obs.runlog import read_run_log, validate_run_log
+
+    log = tmp_path / "cancelled.jsonl"
+    code = main(
+        [
+            "explore", german_csv, "--kind", "error",
+            "--y-true", "label", "--y-pred", "pred",
+            "--support", "0.2",
+            "--deadline", "0.000001", "--run-log", str(log),
+        ]
+    )
+    assert code == 3
+    assert "run cancelled" in capsys.readouterr().err
+    # The partial run log is valid and records the cancellation (the
+    # root span unwind still appends its counters snapshot after it).
+    records = read_run_log(log)
+    assert validate_run_log(records) == []
+    assert "cancelled" in {r["kind"] for r in records[1:]}
+
+
+def test_explore_deadline_generous_budget_completes(german_csv, capsys):
+    code = main(
+        [
+            "explore", german_csv, "--kind", "error",
+            "--y-true", "label", "--y-pred", "pred",
+            "--support", "0.2", "--top", "3", "--deadline", "600",
+        ]
+    )
+    assert code == 0
+    assert "hierarchical exploration" in capsys.readouterr().out

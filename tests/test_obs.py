@@ -510,6 +510,33 @@ class TestTrimSpans:
     def test_rejects_nonpositive_depth(self):
         with pytest.raises(ValueError):
             trim_spans([], 0)
+        # Depth 0 is rejected before any span is touched — a non-empty
+        # forest raises identically instead of returning roots-only.
+        with pytest.raises(ValueError):
+            trim_spans(self.deep_obs().trace_dict(), 0)
+        with pytest.raises(ValueError):
+            trim_spans([], -3)
+
+    def test_empty_forest_is_preserved(self):
+        assert trim_spans([], 1) == []
+        assert trim_spans([], 100) == []
+
+    def test_children_seconds_when_all_children_dropped(self):
+        obs = ObsCollector()
+        with obs.span("root"):
+            with obs.span("left"):
+                pass
+            with obs.span("right"):
+                pass
+        (root,) = trim_spans(obs.trace_dict(), 1)
+        children = obs.roots[0].children
+        assert root["children_dropped"] == 2
+        # children_seconds sums *all* direct children when every one of
+        # them was dropped — not just the first.
+        assert root["children_seconds"] == pytest.approx(
+            sum(c.elapsed_seconds for c in children)
+        )
+        assert "children" not in root
 
     def test_bench_payload_records_depth_and_validates(self):
         obs = self.deep_obs()

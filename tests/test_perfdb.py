@@ -125,6 +125,76 @@ class TestRecords:
         assert current_git_sha(cwd=tmp_path) == "unknown"
 
 
+class TestHostlessRecords:
+    """Records written before hostname capture existed stay usable."""
+
+    def hostless(self):
+        record = record_from_payload(
+            make_payload(), git_sha="abc", hostname="h", recorded_at="t"
+        )
+        del record["hostname"]
+        return record
+
+    def test_validate_record_tolerates_missing_hostname(self):
+        assert validate_record(self.hostless()) == []
+
+    def test_hostname_when_present_must_be_a_nonempty_string(self):
+        for bad in ("", 5, ["h"]):
+            record = self.hostless()
+            record["hostname"] = bad
+            problems = validate_record(record)
+            assert any("hostname" in p for p in problems)
+        # An explicit JSON null reads as "absent", not as drift.
+        record = self.hostless()
+        record["hostname"] = None
+        assert validate_record(record) == []
+
+    def test_hostless_record_appends_and_loads(self, tmp_path):
+        record = self.hostless()
+        append_record(tmp_path, record)
+        assert load_history(tmp_path, "fig2") == [record]
+
+    def test_trajectory_skips_hostless_and_sorts(self, tmp_path):
+        # Append in deliberately unsorted host order, with one record
+        # lacking a hostname entirely: the report output must not
+        # depend on append order, and the hostless record contributes
+        # no host entry (but still counts).
+        payload = make_payload()
+        for sha, host in [("s0", "zeta"), ("s1", None), ("s2", "alpha")]:
+            record = record_from_payload(
+                payload, git_sha=sha, hostname=host or "x", recorded_at="t"
+            )
+            if host is None:
+                del record["hostname"]
+            else:
+                record["hostname"] = host
+            append_record(tmp_path, record)
+        t = bench_trajectory(load_history(tmp_path, "fig2"))
+        assert t["records"] == 3
+        assert t["hosts"] == ["alpha", "zeta"]
+
+    def test_trajectory_fingerprints_sorted(self):
+        records = []
+        for cfg in ({"support": 0.2}, {"support": 0.05}, {"support": 0.1}):
+            records.append(
+                record_from_payload(
+                    make_payload(config=cfg), git_sha="a",
+                    hostname="h", recorded_at="t",
+                )
+            )
+        t = bench_trajectory(records)
+        assert t["fingerprints"] == sorted(t["fingerprints"])
+        assert len(t["fingerprints"]) == 3
+
+    def test_hostless_records_match_only_under_any_host(self):
+        record = self.hostless()
+        fp = record["config_fingerprint"]
+        strict = GatePolicy(warmup=0)
+        assert select_baseline([record], fp, "h", strict) == []
+        loose = GatePolicy(warmup=0, any_host=True)
+        assert select_baseline([record], fp, "h", loose) == [record]
+
+
 class TestBaselineSelection:
     def records(self, fingerprints, hosts=None):
         hosts = hosts or ["h"] * len(fingerprints)

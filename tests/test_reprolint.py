@@ -613,3 +613,46 @@ class TestPipelineInternalConstruction:
             "engine = BitsetEngine(universe)\n"
         )
         assert codes(src) == []
+
+
+class TestRawProgressChannel:
+    def test_flags_raw_queue_in_multiprocessing_module(self):
+        src = """\
+        import multiprocessing as mp
+
+        def fan_out():
+            ctx = mp.get_context("fork")
+            return ctx.Queue(), mp.SimpleQueue()
+        """
+        assert codes(src) == ["RPL017", "RPL017"]
+
+    def test_sanctioned_constructor_stays_silent(self):
+        src = """\
+        import multiprocessing as mp
+        from repro.obs.events import worker_event_queue
+
+        def fan_out():
+            ctx = mp.get_context("fork")
+            return worker_event_queue(ctx)
+        """
+        assert codes(src) == []
+
+    def test_scoped_to_multiprocessing_library_modules(self):
+        plain = """\
+        import queue
+
+        def buffered():
+            return queue.Queue()
+        """
+        # No multiprocessing import — not a worker fan-out module.
+        assert codes(plain) == []
+        mp_src = """\
+        import multiprocessing as mp
+
+        def fan_out():
+            return mp.Queue()
+        """
+        # repro.obs itself is the sanctioned construction site.
+        assert codes(mp_src, path="src/repro/obs/events.py") == []
+        assert codes(mp_src, path="tests/test_x.py") == []
+        assert codes(mp_src) == ["RPL017"]
