@@ -26,12 +26,20 @@ With ``--arch`` it runs the reproarch whole-program gate
 (``python -m repro.devtools.arch check``): layering, cycles, exports,
 api lockfile, contracts and deprecations.
 
+With ``--bundle`` it runs the forensics gate: captures a run bundle of
+the same workload (``benchmark_results/smoke_bundle/``), requires
+``validate_bundle`` to report zero problems and the run doctor to
+report zero findings, requires bundling to leave the ResultSet
+bit-identical to an unbundled run, and requires ``repro.obs.diff`` of
+the bundle against itself to PASS with zero regressions.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/smoke.py              # or: make bench-smoke
     PYTHONPATH=src python benchmarks/smoke.py --obs        # or: make obs-smoke
     PYTHONPATH=src python benchmarks/smoke.py --perf-gate  # or: make perf-gate
     PYTHONPATH=src python benchmarks/smoke.py --arch       # or: make arch-gate
+    PYTHONPATH=src python benchmarks/smoke.py --bundle     # or: make bundle-gate
 """
 
 from __future__ import annotations
@@ -215,6 +223,31 @@ def obs_main() -> int:
         f"{'ok' if not ev_errors else 'INVALID'}"
     )
 
+    # -- run bundles: full forensics capture shares the events budget ----
+    import shutil
+    import tempfile
+
+    def timed_bundle():
+        tmp = tempfile.mkdtemp(prefix="smoke_bundle_")
+        try:
+            start = time.perf_counter()
+            result = run_hierarchical(ctx, SUPPORT, bundle_dir=tmp)
+            return time.perf_counter() - start, result
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    bundle_runs = [timed_bundle() for _ in range(3)]
+    t_bundle = min(t for t, _ in bundle_runs)
+    b_overhead = (t_bundle - t_off) / t_off
+    b_status = ("ok" if t_bundle <= ev_budget
+                else f"TOO SLOW (> {ev_budget:.2f}s)")
+    if t_bundle > ev_budget:
+        failures.append("bundle-overhead")
+    print(
+        f"{'bundle overhead':20s} off={t_off:.3f}s  on={t_bundle:.3f}s  "
+        f"({b_overhead:+.1%})  {b_status}"
+    )
+
     if failures:
         print(f"obs smoke FAILED: {', '.join(failures)}", file=sys.stderr)
         return 1
@@ -267,6 +300,71 @@ def arch_main() -> int:
     return arch_check(["--root", str(REPO_ROOT), "check"])
 
 
+def bundle_main() -> int:
+    """Forensics gate: bundle capture, validation, doctor, self-diff."""
+    import shutil
+
+    from repro.obs import load_bundle, validate_bundle
+    from repro.obs.diff import diff_payload, load_profile
+    from repro.obs.doctor import diagnose
+
+    ctx = load_context("synthetic-peak")
+    ctx.leaf_items(0.1, "divergence")  # warm the discretization cache
+    failures = []
+
+    bundle_dir = REPO_ROOT / "benchmark_results" / "smoke_bundle"
+    if bundle_dir.exists():
+        shutil.rmtree(bundle_dir)
+    plain = run_hierarchical(ctx, SUPPORT)
+    bundled = run_hierarchical(ctx, SUPPORT, bundle_dir=str(bundle_dir))
+
+    problems = validate_bundle(bundle_dir)
+    if problems:
+        failures.append("validate")
+        for problem in problems:
+            print(f"  validate: {problem}", file=sys.stderr)
+    print(
+        f"{'bundle':20s} {bundle_dir.name}/  "
+        f"{'ok' if not problems else 'INVALID'}"
+    )
+
+    if signature(bundled) != signature(plain):
+        failures.append("determinism")
+        print(f"{'determinism':20s} bundling changed the ResultSet  FAILED")
+    else:
+        print(f"{'determinism':20s} identical with and without bundle  ok")
+
+    bundle = load_bundle(bundle_dir)
+    findings = diagnose(bundle)
+    if findings:
+        failures.append("doctor")
+        for finding in findings:
+            print(f"  doctor: [{finding.severity}] {finding.check}: "
+                  f"{finding.message}", file=sys.stderr)
+    print(
+        f"{'doctor':20s} {len(findings)} findings  "
+        f"{'ok' if not findings else 'UNHEALTHY'}"
+    )
+
+    profile = load_profile(str(bundle_dir))
+    payload = diff_payload(profile, profile)
+    regressions = payload["summary"]["regressions"]
+    if regressions:
+        failures.append("self-diff")
+        print(f"  self-diff: {regressions} regressions against itself",
+              file=sys.stderr)
+    print(
+        f"{'self-diff':20s} {regressions} regressions  "
+        f"{'ok' if not regressions else 'FAILED'}"
+    )
+
+    if failures:
+        print(f"bundle gate FAILED: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("bundle gate passed: bundle valid, doctor healthy, self-diff clean")
+    return 0
+
+
 def _main(argv: list[str]) -> int:
     if "--obs" in argv:
         return obs_main()
@@ -274,6 +372,8 @@ def _main(argv: list[str]) -> int:
         return perf_gate_main()
     if "--arch" in argv:
         return arch_main()
+    if "--bundle" in argv:
+        return bundle_main()
     return main()
 
 

@@ -123,14 +123,16 @@ def _build_obs(args):
 
     ``--trace``/``--metrics-out``/``--profile-memory`` want the span
     tree and metrics registry; ``--progress``/``--run-log``/
-    ``--deadline`` additionally want a live event stream, with a
-    throttled TTY renderer and/or an append-only JSONL run log as
-    sinks (``--deadline`` alone still streams: the cancellation event
-    must land somewhere inspectable).
+    ``--deadline``/``--bundle`` additionally want a live event stream,
+    with a throttled TTY renderer and/or an append-only JSONL run log
+    as sinks (``--deadline`` alone still streams: the cancellation
+    event must land somewhere inspectable; a bundle attaches its own
+    run-log sink inside the explorer's bundle scope).
     """
     want_events = bool(
         getattr(args, "progress", False)
         or getattr(args, "run_log", None)
+        or getattr(args, "bundle", None)
         or getattr(args, "deadline", None) is not None
     )
     if not (
@@ -181,6 +183,8 @@ def _write_obs(args, obs) -> None:
         events.close()
         if getattr(args, "run_log", None):
             print(f"wrote run log to {args.run_log}")
+    if getattr(args, "bundle", None):
+        print(f"wrote run bundle to {args.bundle}")
 
 
 def _explore_config(args, obs=None) -> ExploreConfig:
@@ -203,6 +207,7 @@ def _explore_config(args, obs=None) -> ExploreConfig:
         obs=obs,
         profile_memory=getattr(args, "profile_memory", False) and obs is not None,
         deadline_s=getattr(args, "deadline", None),
+        bundle_dir=getattr(args, "bundle", None),
     )
 
 
@@ -434,6 +439,14 @@ def build_parser() -> argparse.ArgumentParser:
             "--deadline", type=float, default=None, metavar="SECONDS",
             help="cancel the run cooperatively after SECONDS "
             "(checked at phase and shard boundaries)",
+        )
+        p.add_argument(
+            "--bundle", metavar="DIR",
+            help="capture the run into a forensics bundle directory "
+            "(manifest, run log, trace, metrics, perfdb record; "
+            "crash.json for failed/cancelled runs — inspect with "
+            "python -m repro.obs.doctor, compare with "
+            "python -m repro.obs.diff)",
         )
 
     p = sub.add_parser("explore", help="find divergent subgroups in a CSV")

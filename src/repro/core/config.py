@@ -21,6 +21,7 @@ a :class:`DeprecationWarning`.
 from __future__ import annotations
 
 import dataclasses
+import os
 import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
@@ -92,6 +93,15 @@ class ExploreConfig:
         Completed runs are bit-identical with or without a deadline,
         so — like the other observability fields — it is excluded
         from equality, :meth:`to_dict` and :meth:`fingerprint`.
+    bundle_dir:
+        Optional run-bundle capture directory. When set, the explorers
+        wrap the run in :func:`repro.obs.bundle_scope`, writing a
+        self-contained forensics bundle (manifest, JSONL run log,
+        trace, metrics, perfdb record — plus ``crash.json`` for failed
+        or cancelled runs) into this directory. Purely observational:
+        results stay bit-identical, so — like the rest of the
+        observability quartet — it is excluded from equality,
+        :meth:`to_dict` and :meth:`fingerprint`.
     """
 
     min_support: float = 0.05
@@ -104,6 +114,7 @@ class ExploreConfig:
     obs: AnyCollector = field(default=NULL_OBS, compare=False, repr=False)
     profile_memory: bool = field(default=False, compare=False, repr=False)
     deadline_s: float | None = field(default=None, compare=False, repr=False)
+    bundle_dir: str | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not 0.0 < self.min_support <= 1.0:
@@ -118,16 +129,20 @@ class ExploreConfig:
             raise ValueError("max_length must be positive")
         if self.obs is None:
             object.__setattr__(self, "obs", NULL_OBS)
-        if self.deadline_s is not None:
-            if not self.deadline_s > 0:
-                raise ValueError("deadline_s must be positive")
-            if self.obs is NULL_OBS:
-                # Deadline checks flow through the collector's
-                # checkpoint(), so an enabled collector is required; a
-                # private one keeps NULL_OBS itself inert.
-                from repro.obs.collector import ObsCollector
+        if self.deadline_s is not None and not self.deadline_s > 0:
+            raise ValueError("deadline_s must be positive")
+        if self.bundle_dir is not None:
+            # Accept Path objects; store the canonical str form.
+            object.__setattr__(self, "bundle_dir", os.fspath(self.bundle_dir))
+        if (
+            self.deadline_s is not None or self.bundle_dir is not None
+        ) and self.obs is NULL_OBS:
+            # Deadline checks and bundle capture flow through the
+            # collector, so an enabled one is required; a private
+            # instance keeps NULL_OBS itself inert.
+            from repro.obs.collector import ObsCollector
 
-                object.__setattr__(self, "obs", ObsCollector())
+            object.__setattr__(self, "obs", ObsCollector())
         if self.profile_memory:
             # Profiling lives on the collector (NULL_OBS: no-op), so a
             # frozen config can switch it on without holding state.
@@ -140,16 +155,18 @@ class ExploreConfig:
     def to_dict(self) -> dict[str, object]:
         """The result-affecting fields as a plain dict.
 
-        The ``obs`` collector, the ``profile_memory`` switch and the
-        ``deadline_s`` budget are excluded: none of them changes the
-        results of a completed run, so two configs that differ only in
-        observability serialize (and fingerprint) identically.
-        ``from_dict`` is the exact inverse.
+        The ``obs`` collector, the ``profile_memory`` switch, the
+        ``deadline_s`` budget and the ``bundle_dir`` capture target
+        are excluded: none of them changes the results of a completed
+        run, so two configs that differ only in observability
+        serialize (and fingerprint) identically. ``from_dict`` is the
+        exact inverse.
         """
         return {
             f.name: getattr(self, f.name)
             for f in dataclasses.fields(self)
-            if f.name not in ("obs", "profile_memory", "deadline_s")
+            if f.name not in ("obs", "profile_memory", "deadline_s",
+                              "bundle_dir")
         }
 
     @classmethod
@@ -160,6 +177,7 @@ class ExploreConfig:
         obs: AnyCollector | None = None,
         profile_memory: bool = False,
         deadline_s: float | None = None,
+        bundle_dir: str | None = None,
     ) -> "ExploreConfig":
         """The exact inverse of :meth:`to_dict`.
 
@@ -167,8 +185,9 @@ class ExploreConfig:
         their defaults) and raises :class:`ValueError` on unknown keys —
         a misspelled knob must not silently fall back to a default, or
         the round-tripped fingerprint would lie. The observability
-        fields (``obs``, ``profile_memory``, ``deadline_s``) are not
-        part of the serialized form and are supplied separately.
+        fields (``obs``, ``profile_memory``, ``deadline_s``,
+        ``bundle_dir``) are not part of the serialized form and are
+        supplied separately.
         """
         unknown = sorted(set(data) - _SERIALIZED_FIELDS)
         if unknown:
@@ -178,6 +197,7 @@ class ExploreConfig:
             )
         return cls(
             obs=obs, profile_memory=profile_memory, deadline_s=deadline_s,
+            bundle_dir=bundle_dir,
             **data,  # type: ignore[arg-type]
         )
 
@@ -210,9 +230,9 @@ class ExploreConfig:
 _FIELD_NAMES = frozenset(f.name for f in dataclasses.fields(ExploreConfig))
 
 #: The fields that appear in ``to_dict()`` / ``from_dict()`` — every
-#: result-affecting knob, excluding the observability trio.
+#: result-affecting knob, excluding the observability quartet.
 _SERIALIZED_FIELDS = frozenset(
-    _FIELD_NAMES - {"obs", "profile_memory", "deadline_s"}
+    _FIELD_NAMES - {"obs", "profile_memory", "deadline_s", "bundle_dir"}
 )
 
 

@@ -27,6 +27,7 @@ from repro.core.outcomes import Outcome, coerce_outcome
 from repro.core.polarity import mine_with_polarity
 from repro.core.explorer import results_from_mined
 from repro.core.results import ResultSet
+from repro.obs.bundle import bundle_scope
 from repro.tabular import Table
 
 
@@ -162,37 +163,45 @@ class HDivExplorer:
         obs = self.obs
         # A configured deadline_s starts counting here; the collector
         # checkpoints (per attribute fitted, per shard mined) raise
-        # RunCancelled once it expires.
+        # RunCancelled once it expires. The bundle scope is inert
+        # unless config.bundle_dir is set, in which case the whole run
+        # — including a crash or cancellation inside it — is captured
+        # into a forensics bundle.
         obs.arm_deadline(self.config.deadline_s)
-        # The explicit perf_counter pairs stay (the NullCollector's
-        # spans record nothing): last_discretization_seconds_ and
-        # ResultSet.elapsed_seconds must be populated either way.
-        start = time.perf_counter()
-        with obs.span("discretize", attributes=len(continuous_attributes)):
-            if continuous_attributes:
-                trees = self.discretize(table, outcome, continuous_attributes)
-                for h in trees:
-                    gamma.add(h)
-        self.last_discretization_seconds_ = time.perf_counter() - start
-        self.last_hierarchies_ = gamma
+        with bundle_scope(self.config, obs, dataset=table, name="hexplore"):
+            # The explicit perf_counter pairs stay (the NullCollector's
+            # spans record nothing): last_discretization_seconds_ and
+            # ResultSet.elapsed_seconds must be populated either way.
+            start = time.perf_counter()
+            with obs.span(
+                "discretize", attributes=len(continuous_attributes)
+            ):
+                if continuous_attributes:
+                    trees = self.discretize(
+                        table, outcome, continuous_attributes
+                    )
+                    for h in trees:
+                        gamma.add(h)
+            self.last_discretization_seconds_ = time.perf_counter() - start
+            self.last_hierarchies_ = gamma
 
-        universe = generalized_universe(
-            table, outcome, gamma, categorical_attributes,
-            include_missing_items=self.include_missing_items,
-            obs=obs,
-        )
-        obs.checkpoint("encode")
-        start = time.perf_counter()
-        with obs.span("mine", polarity=self.polarity):
-            if self.polarity:
-                mined = mine_with_polarity(
-                    universe, self.min_support, self.backend, self.max_length,
-                    n_jobs=self.n_jobs, obs=obs,
-                )
-            else:
-                mined = mine(
-                    universe, self.min_support, self.backend, self.max_length,
-                    n_jobs=self.n_jobs, obs=obs,
-                )
-        elapsed = time.perf_counter() - start
-        return results_from_mined(universe, mined, elapsed, obs=obs)
+            universe = generalized_universe(
+                table, outcome, gamma, categorical_attributes,
+                include_missing_items=self.include_missing_items,
+                obs=obs,
+            )
+            obs.checkpoint("encode")
+            start = time.perf_counter()
+            with obs.span("mine", polarity=self.polarity):
+                if self.polarity:
+                    mined = mine_with_polarity(
+                        universe, self.min_support, self.backend,
+                        self.max_length, n_jobs=self.n_jobs, obs=obs,
+                    )
+                else:
+                    mined = mine(
+                        universe, self.min_support, self.backend,
+                        self.max_length, n_jobs=self.n_jobs, obs=obs,
+                    )
+            elapsed = time.perf_counter() - start
+            return results_from_mined(universe, mined, elapsed, obs=obs)

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import platform
 import time
 from queue import Empty
 
@@ -31,12 +32,27 @@ from repro.obs.events import worker_event_queue
 
 _WORKER_ENGINE: BitsetEngine | None = None
 _WORKER_EVENTS = None
+#: The last run token this worker announced its environment for — one
+#: ``("env", ...)`` message per (worker process, run), so bundles can
+#: record the worker fleet without per-shard overhead.
+_WORKER_ENV_TOKEN = None
 
 
 def _init_worker(engine: BitsetEngine, events_queue=None) -> None:
-    global _WORKER_ENGINE, _WORKER_EVENTS
+    global _WORKER_ENGINE, _WORKER_EVENTS, _WORKER_ENV_TOKEN
     _WORKER_ENGINE = engine
     _WORKER_EVENTS = events_queue
+    _WORKER_ENV_TOKEN = None
+
+
+def _worker_env(pid: int) -> dict:
+    """The environment snapshot a worker reports once per run."""
+    return {
+        "pid": pid,
+        "python": platform.python_version(),
+        "process": multiprocessing.current_process().name,
+        "start_method": multiprocessing.get_start_method(allow_none=True),
+    }
 
 
 def _mine_shard(task):
@@ -52,19 +68,26 @@ def _mine_shard(task):
 
     With ``emit`` set (the parent streams live events), the worker
     additionally puts a heartbeat message on the shared queue when the
-    shard starts and a completion message when it ends, both tagged
+    shard starts and a completion message when it ends — plus, before
+    its first shard of a run, an environment snapshot message the
+    parent forwards as a ``worker.env`` heartbeat (run bundles record
+    the worker fleet from these). All messages are tagged
     with the parent's run ``token`` so a later run on a persistent pool
     can discard stale messages left behind by a cancelled one.
     Timestamps are raw ``time.perf_counter()`` values — CLOCK_MONOTONIC
     under the ``fork`` start method, hence directly comparable with the
     parent's event-stream origin.
     """
+    global _WORKER_ENV_TOKEN
     root, tail, min_support, max_length, collect, profile, emit, token = task
     engine = _WORKER_ENGINE
     queue = _WORKER_EVENTS if emit else None
     pid = os.getpid()
     t0 = time.perf_counter()
     if queue is not None:
+        if _WORKER_ENV_TOKEN != token:
+            _WORKER_ENV_TOKEN = token
+            queue.put(("env", token, pid, _worker_env(pid)))
         queue.put(("hb", token, pid, t0, root))
     if not collect:
         raw = engine.mine_subtree(root, tail, min_support, max_length)
@@ -326,7 +349,11 @@ def _forward_message(message, obs: AnyCollector, token, worker_ids: dict) -> Non
         return  # stale message from an earlier (cancelled) run
     stream = getattr(obs, "events", None)
     origin = stream.origin if stream is not None else 0.0
-    if kind == "hb":
+    if kind == "env":
+        _, _, pid, env = message
+        wid = worker_ids.setdefault(pid, len(worker_ids) + 1)
+        obs.heartbeat("worker.env", worker=wid, **env)
+    elif kind == "hb":
         _, _, pid, t_abs, root = message
         wid = worker_ids.setdefault(pid, len(worker_ids) + 1)
         obs.heartbeat(

@@ -1,4 +1,4 @@
-"""The reprolint rule catalogue (RPL001–RPL017).
+"""The reprolint rule catalogue (RPL001–RPL018).
 
 Each rule encodes one invariant the reproduction depends on —
 determinism across backends and ``n_jobs``, independence from the
@@ -61,6 +61,8 @@ PRINT_ALLOWED_MODULES = (
     "src/repro/devtools/arch/cli.py",
     "src/repro/devtools/lint.py",
     "src/repro/experiments/paper.py",
+    "src/repro/obs/diff.py",
+    "src/repro/obs/doctor.py",
     "src/repro/obs/perfdb.py",
     "src/repro/obs/tail.py",
 )
@@ -103,6 +105,14 @@ PIPELINE_INTERNAL_CALLS = {
 #: sanctioned construction site — everything it carries reaches the
 #: run log, the progress renderer and the Chrome-trace export.
 MP_QUEUE_CONSTRUCTORS = {"Queue", "SimpleQueue", "JoinableQueue"}
+
+#: The single sanctioned owner of process-level crash hooks (RPL018):
+#: ``repro.obs.bundle`` installs ``sys.excepthook``/``faulthandler``
+#: scoped to a run bundle's active window and restores them on exit.
+CRASH_HOOK_OWNER = "src/repro/obs/bundle.py"
+
+#: ``faulthandler`` functions that install process-global handlers.
+FAULTHANDLER_INSTALL_FUNCS = {"enable", "register"}
 
 
 def dotted_name(node: ast.AST) -> str | None:
@@ -724,3 +734,48 @@ class RawProgressChannelRule(Rule):
                     f"event stream — use "
                     f"repro.obs.events.worker_event_queue"
                 )
+
+
+@register
+class CrashHookRule(Rule):
+    code = "RPL018"
+    name = "crash-hook-outside-bundle"
+    severity = Severity.ERROR
+    rationale = (
+        "Crash capture has exactly one owner: repro.obs.bundle installs "
+        "sys.excepthook and faulthandler scoped to a run bundle's "
+        "active window, chains to the previous hook, and restores both "
+        "on exit. A second installation elsewhere silently replaces the "
+        "bundle's hook (or fights over the faulthandler output file), "
+        "so failed runs stop producing crash.json — route crash "
+        "handling through RunBundle instead."
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return _in_library(path) and path != CRASH_HOOK_OWNER
+
+    def check(self, ctx: ModuleContext) -> Iterator[tuple[ast.AST, str]]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if dotted_name(target) == "sys.excepthook":
+                        yield node, (
+                            "sys.excepthook assignment outside "
+                            "repro.obs.bundle: crash capture has one "
+                            "owner — use RunBundle (or its CrashCapture) "
+                            "instead of installing a hook directly"
+                        )
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is None or not name.startswith("faulthandler."):
+                    continue
+                if name.split(".")[-1] in FAULTHANDLER_INSTALL_FUNCS:
+                    yield node, (
+                        f"{name}() outside repro.obs.bundle: the fault "
+                        f"handler belongs to the active run bundle "
+                        f"(fault.log) — wrap the run in RunBundle instead"
+                    )

@@ -141,16 +141,18 @@ def run_hierarchical(
     max_length: int | None = None,
     n_jobs: int = 1,
     obs: AnyCollector | None = None,
+    bundle_dir: str | None = None,
 ) -> ResultSet:
     """Generalized (hierarchical) exploration, the H-DivExplorer path.
 
     Predefined categorical hierarchies of the dataset (folktables OCCP
-    and POBP) are passed through automatically.
+    and POBP) are passed through automatically. ``bundle_dir`` captures
+    a post-mortem run bundle (see ``repro.obs.bundle``).
     """
     config = ExploreConfig(
         min_support=support, tree_support=tree_support, criterion=criterion,
         backend=backend, polarity=polarity, max_length=max_length,
-        n_jobs=n_jobs, obs=obs,
+        n_jobs=n_jobs, obs=obs, bundle_dir=bundle_dir,
     )
     explorer = HDivExplorer(config)
     return explorer.explore(

@@ -8,7 +8,10 @@ everything defaults to the :data:`NULL_OBS` no-op singleton, which
 keeps the hot paths effectively free and the outputs bit-identical.
 
 See ``docs/OBSERVABILITY.md`` for the span/metric inventory and the
-JSON schemas of trace, metrics, and ``BENCH_*.json`` files.
+JSON schemas of trace, metrics, and ``BENCH_*.json`` files. Post-mortem
+forensics live in ``repro.obs.bundle`` (run bundles, exported here),
+``repro.obs.diff`` and ``repro.obs.doctor`` (standalone ``python -m``
+tools, like ``repro.obs.tail``).
 """
 
 from repro.obs.bench import (
@@ -19,6 +22,14 @@ from repro.obs.bench import (
     trim_spans,
     validate_bench_payload,
     write_bench_json,
+)
+from repro.obs.bundle import (
+    BUNDLE_SCHEMA,
+    Bundle,
+    RunBundle,
+    bundle_scope,
+    load_bundle,
+    validate_bundle,
 )
 from repro.obs.collector import (
     NULL_OBS,
@@ -87,12 +98,14 @@ def __getattr__(name: str):
 __all__ = [
     "BENCH_SCHEMA",
     "BENCH_SCHEMA_V1",
+    "BUNDLE_SCHEMA",
     "EVENTS_SCHEMA",
     "METRICS_SCHEMA",
     "NULL_OBS",
     "PERFDB_SCHEMA",
     "TRACE_SCHEMA",
     "AnyCollector",
+    "Bundle",
     "Comparison",
     "Event",
     "EventStream",
@@ -103,16 +116,19 @@ __all__ = [
     "ObsCollector",
     "PhaseComparison",
     "ProgressRenderer",
+    "RunBundle",
     "RunCancelled",
     "RunController",
     "Span",
     "append_record",
     "as_event_stream",
     "bench_payload",
+    "bundle_scope",
     "cache_hit_rate",
     "compare_payload",
     "config_fingerprint",
     "event_counts",
+    "load_bundle",
     "load_history",
     "max_rss_kb",
     "metrics_payload",
@@ -127,6 +143,7 @@ __all__ = [
     "trace_payload",
     "trim_spans",
     "validate_bench_payload",
+    "validate_bundle",
     "validate_record",
     "validate_run_log",
     "worker_event_queue",

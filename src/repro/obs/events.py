@@ -142,6 +142,18 @@ class EventStream:
         """Attach another sink (an object with ``handle(event)``)."""
         self._sinks.append(sink)
 
+    def remove_sink(self, sink: Any) -> None:
+        """Detach a sink added with :meth:`add_sink` (missing is a no-op).
+
+        Scoped sinks — a run bundle's JSONL log, for example — detach
+        themselves on the way out so a reused stream does not keep
+        writing to a closed file.
+        """
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            return
+
     def emit(
         self,
         kind: str,

@@ -126,17 +126,36 @@ class ProgressRenderer:
     event of a phase — and ``cancelled`` events unconditionally. The
     ETA is rate-based: elapsed / done * remaining, shown once at least
     one unit of work and a total are known.
+
+    On a TTY, in-flight progress redraws in place (carriage return +
+    erase-to-end), finalizing to a real line when a phase completes.
+    When the stream is **not** a TTY — CI logs, redirection to a file —
+    the renderer falls back to plain appended lines with no control
+    codes and a coarser default throttle (1s instead of 0.1s), so
+    ``--progress`` output stays readable in captured logs.
     """
+
+    #: Default ``min_interval`` on a TTY vs a captured (CI) stream.
+    TTY_INTERVAL = 0.1
+    PLAIN_INTERVAL = 1.0
 
     def __init__(
         self,
         stream: TextIO | None = None,
-        min_interval: float = 0.1,
+        min_interval: float | None = None,
     ) -> None:
         self._stream = stream if stream is not None else sys.stderr
+        isatty = getattr(self._stream, "isatty", None)
+        try:
+            self._tty = bool(isatty()) if callable(isatty) else False
+        except (OSError, ValueError):  # closed or detached stream
+            self._tty = False
+        if min_interval is None:
+            min_interval = self.TTY_INTERVAL if self._tty else self.PLAIN_INTERVAL
         self.min_interval = min_interval
         self._last_render: dict[str, float] = {}
         self._started: dict[str, float] = {}
+        self._open_line = False
 
     def handle(self, event: Event) -> None:
         if event.kind == "cancelled":
@@ -162,7 +181,7 @@ class ProgressRenderer:
         ):
             return
         self._last_render[phase] = event.t
-        self._write(self._format(event.t, phase, done, total))
+        self._write(self._format(event.t, phase, done, total), final=finished)
 
     def _format(
         self, t: float, phase: str, done: int, total: Any
@@ -181,12 +200,25 @@ class ProgressRenderer:
                 line += f" done in {elapsed:.1f}s"
         return line
 
-    def _write(self, line: str) -> None:
-        self._stream.write(line + "\n")
+    def _write(self, line: str, final: bool = True) -> None:
+        if self._tty and not final:
+            self._stream.write("\r" + line + "\x1b[K")
+            self._open_line = True
+        else:
+            prefix = "\r" if self._open_line else ""
+            suffix = "\x1b[K\n" if self._open_line else "\n"
+            self._stream.write(prefix + line + suffix)
+            self._open_line = False
         try:
             self._stream.flush()
         except (OSError, io.UnsupportedOperation):  # closed/odd streams
             return
 
     def close(self) -> None:
-        return None
+        if self._open_line:
+            self._open_line = False
+            try:
+                self._stream.write("\n")
+                self._stream.flush()
+            except (OSError, io.UnsupportedOperation):
+                return

@@ -45,17 +45,25 @@ def format_record(record: dict[str, Any]) -> str:
 
 
 def _iter_lines(path: Path, follow: bool, interval: float):
-    """Yield complete lines, optionally polling for appended ones."""
+    """Yield complete lines, optionally polling for appended ones.
+
+    A line the writer has only partially flushed is buffered (not
+    yielded) until its newline arrives, so followers never see a
+    torn JSON record.
+    """
     with path.open() as fh:
+        pending = ""
         while True:
             line = fh.readline()
             if line.endswith("\n"):
-                yield line
+                yield pending + line
+                pending = ""
             elif follow:
+                pending += line
                 time.sleep(interval)
             else:
-                if line:
-                    yield line
+                if pending or line:
+                    yield pending + line
                 return
 
 

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import io
 import json
+import threading
+import time
 
 import pytest
 
@@ -37,7 +39,7 @@ from repro.obs import (
     validate_run_log,
     write_chrome_trace,
 )
-from repro.obs.tail import main as tail_main
+from repro.obs.tail import _iter_lines, main as tail_main
 from repro.tabular import Table
 
 
@@ -264,6 +266,45 @@ class TestTail:
         assert tail_main([str(tmp_path / "absent.jsonl")]) == 2
 
 
+class TestTailFollow:
+    def test_follow_yields_lines_appended_by_writer(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        path.write_text('{"kind": "header"}\n')
+        done = threading.Event()
+
+        def writer():
+            with path.open("a") as fh:
+                fh.write('{"kind": "span_')  # partial: must NOT yield yet
+                fh.flush()
+                time.sleep(0.05)
+                fh.write('open", "name": "mine"}\n')
+                fh.write('{"kind": "progress", "name": "mine"}\n')
+                fh.flush()
+            done.set()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        lines = []
+        for line in _iter_lines(path, follow=True, interval=0.01):
+            lines.append(line)
+            if len(lines) == 3:
+                break
+        thread.join()
+        assert done.is_set()
+        kinds = [json.loads(line)["kind"] for line in lines]
+        assert kinds == ["header", "span_open", "progress"]
+        # Only complete (newline-terminated) lines were yielded.
+        assert all(line.endswith("\n") for line in lines)
+
+    def test_no_follow_yields_trailing_partial_line_and_stops(self, tmp_path):
+        path = tmp_path / "cut.jsonl"
+        path.write_text('{"kind": "header"}\n{"kind": "trunc')
+        lines = list(_iter_lines(path, follow=False, interval=0.01))
+        assert len(lines) == 2
+        assert lines[0].endswith("\n")
+        assert not lines[1].endswith("\n")
+
+
 class TestProgressRenderer:
     def render(self, events, min_interval=0.0):
         out = io.StringIO()
@@ -302,6 +343,62 @@ class TestProgressRenderer:
         out = self.render(events)
         assert "span_open" not in out
         assert "cancelled at mine (deadline)" in out
+
+    def test_non_tty_stream_gets_plain_lines_and_slow_interval(self):
+        out = io.StringIO()  # StringIO.isatty() is False
+        renderer = ProgressRenderer(stream=out)
+        assert renderer.min_interval == ProgressRenderer.PLAIN_INTERVAL
+        renderer.handle(
+            Event(0, 0.0, "progress", "mine", attrs={"done": 1, "total": 4})
+        )
+        renderer.close()
+        text = out.getvalue()
+        # Plain append-only lines: no carriage returns or ANSI erases.
+        assert "\r" not in text and "\x1b" not in text
+        assert text.endswith("\n")
+
+    def test_tty_stream_rewrites_in_place_and_closes_line(self):
+        class Tty(io.StringIO):
+            def isatty(self):
+                return True
+
+        out = Tty()
+        renderer = ProgressRenderer(stream=out, min_interval=0.0)
+        assert ProgressRenderer(stream=out).min_interval == (
+            ProgressRenderer.TTY_INTERVAL
+        )
+        renderer.handle(
+            Event(0, 0.0, "progress", "mine", attrs={"done": 1, "total": 4})
+        )
+        renderer.handle(
+            Event(1, 1.0, "progress", "mine", attrs={"done": 2, "total": 4})
+        )
+        mid = out.getvalue()
+        # In-flight updates rewrite one line (\r + erase, no newline).
+        assert mid.count("\r") == 2 and mid.count("\x1b[K") == 2
+        assert "\n" not in mid
+        renderer.handle(
+            Event(2, 2.0, "progress", "mine", attrs={"done": 4, "total": 4})
+        )
+        done = out.getvalue()
+        # The final (done == total) update closes the line.
+        assert done.endswith("\n")
+        renderer.close()
+        assert out.getvalue() == done  # nothing left open
+
+    def test_close_terminates_open_tty_line(self):
+        class Tty(io.StringIO):
+            def isatty(self):
+                return True
+
+        out = Tty()
+        renderer = ProgressRenderer(stream=out, min_interval=0.0)
+        renderer.handle(
+            Event(0, 0.0, "progress", "mine", attrs={"done": 1, "total": 4})
+        )
+        assert not out.getvalue().endswith("\n")
+        renderer.close()
+        assert out.getvalue().endswith("\n")
 
 
 class TestRunController:
@@ -438,6 +535,48 @@ class TestChromeTrace:
         payload = to_chrome_trace(events=read_run_log(path)[1:])
         assert any(e["ph"] == "B" for e in payload["traceEvents"])
 
+    def test_empty_stream_exports_metadata_only(self):
+        payload = to_chrome_trace(events=EventStream(), name="empty")
+        events = payload["traceEvents"]
+        # Process + main-thread metadata, but no slices or counters.
+        assert [e["ph"] for e in events] == ["M", "M"]
+        assert events[0]["args"] == {"name": "empty"}
+        assert events[1]["args"] == {"name": "main"}
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_cancelled_terminal_event_becomes_instant(self):
+        stream = EventStream()
+        controller = RunController(deadline_s=1e-9)
+        obs = ObsCollector(events=stream)
+        obs.controller = controller
+        while not controller.expired():
+            pass
+        with pytest.raises(RunCancelled):
+            with obs.span("mine"):
+                controller.check("mine", stream=stream)
+        payload = to_chrome_trace(obs=obs)
+        phases = [e["ph"] for e in payload["traceEvents"]]
+        # The cancellation instant lands inside the mine span (the
+        # span still closes as the with-block unwinds).
+        assert phases.index("B") < phases.index("i") < phases.index("E")
+        (instant,) = [
+            e for e in payload["traceEvents"] if e["ph"] == "i"
+        ]
+        assert instant["name"] == "mine"
+        assert instant["args"]["reason"] == "deadline"
+        assert instant["s"] == "t"
+
+    def test_dropped_events_export_the_retained_window(self):
+        stream = EventStream(max_events=4)
+        for i in range(10):
+            stream.emit("heartbeat", f"hb{i}")
+        assert stream.dropped == 6
+        payload = to_chrome_trace(events=stream)
+        instants = [e for e in payload["traceEvents"] if e["ph"] == "i"]
+        # Only the retained (most recent) window is exported; the trace
+        # stays loadable even though early events were evicted.
+        assert [e["name"] for e in instants] == ["hb6", "hb7", "hb8", "hb9"]
+
 
 class TestMiningParity:
     """The tentpole determinism contracts at the mining layer."""
@@ -473,12 +612,24 @@ class TestMiningParity:
     def test_parallel_run_streams_heartbeats_and_worker_spans(self, universe):
         obs = ObsCollector(events=EventStream())
         mine(universe, 0.05, "bitset", n_jobs=4, obs=obs)
-        heartbeats = [e for e in obs.events if e.kind == "heartbeat"]
+        heartbeats = [
+            e for e in obs.events
+            if e.kind == "heartbeat" and e.name == "mine.shard"
+        ]
+        envs = [
+            e for e in obs.events
+            if e.kind == "heartbeat" and e.name == "worker.env"
+        ]
         shards = [e for e in obs.events if e.kind == "worker_span"]
         assert heartbeats and shards
         assert len(heartbeats) == len(shards)
         workers = {e.worker for e in shards}
         assert workers and workers <= {1, 2, 3, 4}
+        # Each participating worker introduces itself exactly once.
+        assert sorted(e.worker for e in envs) == sorted(workers)
+        for env in envs:
+            assert env.attrs["pid"] > 0
+            assert env.attrs["python"]
         for shard in shards:
             assert shard.attrs["t1"] >= shard.attrs["t0"]
         # Per-worker tracks survive into the Chrome trace.

@@ -656,3 +656,38 @@ class TestRawProgressChannel:
         assert codes(mp_src, path="src/repro/obs/events.py") == []
         assert codes(mp_src, path="tests/test_x.py") == []
         assert codes(mp_src) == ["RPL017"]
+
+
+class TestCrashHook:
+    def test_flags_excepthook_assignment_and_faulthandler(self):
+        src = """\
+        import faulthandler
+        import sys
+
+        def arm(hook):
+            sys.excepthook = hook
+            faulthandler.enable()
+            faulthandler.register(10)
+        """
+        assert codes(src) == ["RPL018", "RPL018", "RPL018"]
+
+    def test_non_installing_faulthandler_calls_stay_silent(self):
+        src = """\
+        import faulthandler
+
+        def disarm():
+            faulthandler.disable()
+            return faulthandler.is_enabled()
+        """
+        assert codes(src) == []
+
+    def test_bundle_module_and_tests_are_exempt(self):
+        src = """\
+        import sys
+
+        def arm(hook):
+            sys.excepthook = hook
+        """
+        assert codes(src, path="src/repro/obs/bundle.py") == []
+        assert codes(src, path="tests/test_x.py") == []
+        assert codes(src) == ["RPL018"]
