@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-json lint-baseline arch arch-gate arch-lock verify bench bench-smoke obs-smoke perf-gate perf-report bench-engine sweep-bench bundle-gate
+.PHONY: test lint lint-json lint-baseline arch arch-gate arch-lock verify bench bench-smoke obs-smoke perf-gate perf-report bench-engine sweep-bench bundle-gate cpuprof-gate
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -22,7 +22,7 @@ lint-json:
 lint-baseline:
 	$(PYTHON) -m repro.devtools.lint src benchmarks --write-baseline
 
-verify: lint arch-gate test bench-smoke obs-smoke bundle-gate perf-gate
+verify: lint arch-gate test bench-smoke obs-smoke bundle-gate cpuprof-gate perf-gate
 
 bench-smoke:
 	$(PYTHON) benchmarks/smoke.py
@@ -38,6 +38,9 @@ arch-gate:
 
 bundle-gate:
 	$(PYTHON) benchmarks/smoke.py --bundle
+
+cpuprof-gate:
+	$(PYTHON) benchmarks/smoke.py --cpuprof
 
 perf-report:
 	$(PYTHON) -m repro.obs.perfdb --history benchmark_results/history report

@@ -33,6 +33,15 @@ report zero findings, requires bundling to leave the ResultSet
 bit-identical to an unbundled run, and requires ``repro.obs.diff`` of
 the bundle against itself to PASS with zero regressions.
 
+With ``--cpuprof`` it runs the CPU-profiler gate: profiling at the
+default 97 Hz must leave the ResultSet bit-identical to an unprofiled
+run for ``n_jobs`` 1 and 4, must stay within ``MAX_CPUPROF_OVERHEAD``
+wall-time overhead, must produce a schema-valid ``cpuprof.json`` in a
+captured bundle with byte-stable ``.folded``/speedscope exports, and —
+the end-to-end attribution demo — a synthetic busy-wait injected into
+the mining phase must be named, function and file, by the
+``repro.obs.diff`` attribution of two profiled bundles.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/smoke.py              # or: make bench-smoke
@@ -40,6 +49,7 @@ Usage::
     PYTHONPATH=src python benchmarks/smoke.py --perf-gate  # or: make perf-gate
     PYTHONPATH=src python benchmarks/smoke.py --arch       # or: make arch-gate
     PYTHONPATH=src python benchmarks/smoke.py --bundle     # or: make bundle-gate
+    PYTHONPATH=src python benchmarks/smoke.py --cpuprof    # or: make cpuprof-gate
 """
 
 from __future__ import annotations
@@ -66,6 +76,15 @@ EPSILON_SECONDS = 0.05
 #: Event streaming (collector + live event stream + run-log sink) may
 #: exceed disabled-mode wall time by at most this fraction.
 MAX_EVENTS_OVERHEAD = 0.10
+
+#: Sampling CPU profiling at the default rate may exceed disabled-mode
+#: wall time by at most this fraction (best-of-3 + absolute epsilon).
+MAX_CPUPROF_OVERHEAD = 0.10
+
+#: Wall seconds of synthetic busy-wait injected into the mining phase
+#: for the end-to-end attribution demo — big enough to trip the
+#: GatePolicy phase gate and collect tens of samples at 97 Hz.
+INJECTED_REGRESSION_SECONDS = 0.4
 
 VARIANTS = [(backend, 1) for backend in BACKENDS] + [("bitset", 2)]
 
@@ -365,6 +384,149 @@ def bundle_main() -> int:
     return 0
 
 
+def _smoke_regression(mine_fn):
+    """A named busy-wait wrapper around the mining dispatcher.
+
+    The attribution demo's synthetic hot function: burns
+    ``INJECTED_REGRESSION_SECONDS`` of CPU (a spin, not a sleep, so the
+    sampler sees it on-CPU) before delegating, so a cpuprof diff must
+    name *this* function and file.
+    """
+
+    def _injected_regression(*args, **kwargs):
+        end = time.perf_counter() + INJECTED_REGRESSION_SECONDS
+        n = 0
+        while time.perf_counter() < end:
+            n += 1
+        return mine_fn(*args, **kwargs)
+
+    return _injected_regression
+
+
+def cpuprof_main() -> int:
+    """CPU-profiler gate: bit-identity, overhead, exports, attribution."""
+    import shutil
+
+    import repro.core.hexplorer as hexplorer
+    from repro.obs.cpuprof import (
+        load_cpuprof,
+        to_folded,
+        to_speedscope,
+        validate_cpuprof_payload,
+    )
+    from repro.obs.diff import diff_payload, load_profile
+
+    ctx = load_context("synthetic-peak")
+    ctx.leaf_items(0.1, "divergence")  # warm the discretization cache
+    failures = []
+
+    def timed(n_jobs=1, profile_cpu=False, bundle_dir=None):
+        start = time.perf_counter()
+        result = run_hierarchical(
+            ctx, SUPPORT, n_jobs=n_jobs, profile_cpu=profile_cpu,
+            bundle_dir=bundle_dir,
+        )
+        return time.perf_counter() - start, result
+
+    timed()  # warm up caches/imports outside the measurement
+    off_runs = [timed() for _ in range(3)]
+    t_off = min(t for t, _ in off_runs)
+
+    # -- bit-identity: profiling must never change mined results --------
+    for n_jobs in (1, 4):
+        _, plain = timed(n_jobs=n_jobs)
+        _, profiled = timed(n_jobs=n_jobs, profile_cpu=True)
+        label = f"identity (n_jobs={n_jobs})"
+        if signature(profiled) != signature(plain):
+            failures.append(label)
+            print(f"{label:20s} profiler changed the ResultSet  FAILED")
+        else:
+            print(f"{label:20s} identical with and without profiler  ok")
+
+    # -- overhead at the default sampling rate --------------------------
+    on_runs = [timed(profile_cpu=True) for _ in range(3)]
+    t_on = min(t for t, _ in on_runs)
+    overhead = (t_on - t_off) / t_off
+    budget = t_off * (1.0 + MAX_CPUPROF_OVERHEAD) + EPSILON_SECONDS
+    status = "ok" if t_on <= budget else f"TOO SLOW (> {budget:.2f}s)"
+    if t_on > budget:
+        failures.append("overhead")
+    print(
+        f"{'overhead':20s} off={t_off:.3f}s  on={t_on:.3f}s  "
+        f"({overhead:+.1%})  {status}"
+    )
+
+    # -- artifact: schema-valid capture, byte-stable exports ------------
+    base_dir = REPO_ROOT / "benchmark_results" / "smoke_cpuprof_base"
+    slow_dir = REPO_ROOT / "benchmark_results" / "smoke_cpuprof_slow"
+    for directory in (base_dir, slow_dir):
+        if directory.exists():
+            shutil.rmtree(directory)
+    timed(profile_cpu=True, bundle_dir=str(base_dir))
+    export_errors = []
+    try:
+        payload = load_cpuprof(base_dir)
+    except (OSError, ValueError) as exc:
+        payload = None
+        export_errors.append(str(exc))
+    if payload is not None:
+        export_errors.extend(validate_cpuprof_payload(payload))
+        if not payload["stacks"]:
+            export_errors.append("no stacks sampled on the smoke workload")
+        if to_folded(payload) != to_folded(payload):
+            export_errors.append(".folded export is not byte-stable")
+        if to_speedscope(payload) != to_speedscope(payload):
+            export_errors.append("speedscope export is not byte-stable")
+    if export_errors:
+        failures.append("export")
+        for error in export_errors:
+            print(f"  export: {error}", file=sys.stderr)
+    print(
+        f"{'export':20s} cpuprof.json  "
+        f"{'ok' if not export_errors else 'INVALID'}"
+    )
+
+    # -- end-to-end attribution demo ------------------------------------
+    # Inject a named busy-wait into the mining phase and require the
+    # diff of the two profiled bundles to name it, function and file.
+    original = hexplorer.mine
+    hexplorer.mine = _smoke_regression(original)
+    try:
+        timed(profile_cpu=True, bundle_dir=str(slow_dir))
+    finally:
+        hexplorer.mine = original
+    diff = diff_payload(
+        load_profile(str(base_dir)), load_profile(str(slow_dir))
+    )
+    suspects = [
+        s for entry in diff["attribution"] for s in entry["suspects"]
+    ]
+    named = [
+        s for s in suspects
+        if "_injected_regression" in s and "smoke.py" in s
+    ]
+    if not named:
+        failures.append("attribution")
+        print("  attribution: injected regression not named; suspects were:",
+              file=sys.stderr)
+        for s in suspects:
+            print(f"    - {s}", file=sys.stderr)
+        print(
+            f"{'attribution':20s} injected hot function missed  FAILED"
+        )
+    else:
+        print(f"{'attribution':20s} {named[0]}  ok")
+
+    if failures:
+        print(f"cpuprof gate FAILED: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print(
+        "cpuprof gate passed: results bit-identical, overhead within "
+        "budget, exports valid, regression attributed"
+    )
+    return 0
+
+
 def _main(argv: list[str]) -> int:
     if "--obs" in argv:
         return obs_main()
@@ -374,6 +536,8 @@ def _main(argv: list[str]) -> int:
         return arch_main()
     if "--bundle" in argv:
         return bundle_main()
+    if "--cpuprof" in argv:
+        return cpuprof_main()
     return main()
 
 

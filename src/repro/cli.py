@@ -118,16 +118,80 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared "observability" option group.
+
+    One definition for every exploring subcommand (``explore``,
+    ``hexplore``, ``sweep``), so the flags stay spelled, documented,
+    and defaulted identically everywhere.
+    """
+    g = parser.add_argument_group(
+        "observability",
+        "opt-in tracing, profiling, live progress, and run capture "
+        "(none of these changes mined results)",
+    )
+    g.add_argument(
+        "--trace", metavar="FILE",
+        help="write the hierarchical span trace as JSON",
+    )
+    g.add_argument(
+        "--metrics-out", metavar="FILE", dest="metrics_out",
+        help="write the metrics registry (counters/gauges) as JSON",
+    )
+    g.add_argument(
+        "--profile-memory", action="store_true", dest="profile_memory",
+        help="track tracemalloc peak allocations per span "
+        "(slows the run; timings are not comparable)",
+    )
+    g.add_argument(
+        "--profile-cpu", action="store_true", dest="profile_cpu",
+        help="attach the sampling CPU profiler: spans gain sampled "
+        "self-time and hot-function attributes; bundles gain "
+        "cpuprof.json (export flamegraphs with "
+        "python -m repro.obs.cpuprof export)",
+    )
+    g.add_argument(
+        "--sample-hz", type=float, default=97.0, dest="sample_hz",
+        metavar="HZ",
+        help="sampling rate for --profile-cpu (default 97 Hz; prime, "
+        "to dodge lockstep with periodic work)",
+    )
+    g.add_argument(
+        "--progress", action="store_true",
+        help="render throttled per-phase progress lines with ETA "
+        "on stderr while the run streams events",
+    )
+    g.add_argument(
+        "--run-log", metavar="FILE", dest="run_log",
+        help="append the structured event stream to FILE as "
+        "schema-tagged JSONL (replay with python -m repro.obs.tail)",
+    )
+    g.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="cancel the run cooperatively after SECONDS "
+        "(checked at phase and shard boundaries)",
+    )
+    g.add_argument(
+        "--bundle", metavar="DIR",
+        help="capture the run into a forensics bundle directory "
+        "(manifest, run log, trace, metrics, perfdb record; "
+        "cpuprof.json with --profile-cpu; crash.json for "
+        "failed/cancelled runs — inspect with "
+        "python -m repro.obs.doctor, compare with "
+        "python -m repro.obs.diff)",
+    )
+
+
 def _build_obs(args):
     """An ObsCollector when an observability flag asked for one.
 
-    ``--trace``/``--metrics-out``/``--profile-memory`` want the span
-    tree and metrics registry; ``--progress``/``--run-log``/
-    ``--deadline``/``--bundle`` additionally want a live event stream,
-    with a throttled TTY renderer and/or an append-only JSONL run log
-    as sinks (``--deadline`` alone still streams: the cancellation
-    event must land somewhere inspectable; a bundle attaches its own
-    run-log sink inside the explorer's bundle scope).
+    ``--trace``/``--metrics-out``/``--profile-memory``/``--profile-cpu``
+    want the span tree and metrics registry; ``--progress``/
+    ``--run-log``/``--deadline``/``--bundle`` additionally want a live
+    event stream, with a throttled TTY renderer and/or an append-only
+    JSONL run log as sinks (``--deadline`` alone still streams: the
+    cancellation event must land somewhere inspectable; a bundle
+    attaches its own run-log sink inside the explorer's bundle scope).
     """
     want_events = bool(
         getattr(args, "progress", False)
@@ -139,6 +203,7 @@ def _build_obs(args):
         getattr(args, "trace", None)
         or getattr(args, "metrics_out", None)
         or getattr(args, "profile_memory", False)
+        or getattr(args, "profile_cpu", False)
         or want_events
     ):
         return None
@@ -170,6 +235,14 @@ def _write_obs(args, obs) -> None:
         rss = obs.gauges.get("mem.rss_max_kb")
         if rss is not None:
             print(f"  {'process rss high-water':<40s} {rss:10.1f} KiB")
+    cpu = getattr(obs, "cpu", None)
+    if cpu is not None and cpu.samples_total:
+        print(
+            f"cpu profile ({cpu.samples_total} samples at "
+            f"{cpu.sample_hz:g} Hz; hottest functions by self time):"
+        )
+        for name, seconds in cpu.top_functions():
+            print(f"  {name:<56s} {seconds:8.3f} s")
     from repro.obs import write_metrics, write_trace
 
     if args.trace:
@@ -208,6 +281,8 @@ def _explore_config(args, obs=None) -> ExploreConfig:
         profile_memory=getattr(args, "profile_memory", False) and obs is not None,
         deadline_s=getattr(args, "deadline", None),
         bundle_dir=getattr(args, "bundle", None),
+        profile_cpu=getattr(args, "profile_cpu", False),
+        sample_hz=getattr(args, "sample_hz", 97.0),
     )
 
 
@@ -412,42 +487,7 @@ def build_parser() -> argparse.ArgumentParser:
             default="abs_divergence",
         )
         p.add_argument("--min-t", type=float, default=0.0)
-        p.add_argument(
-            "--trace", metavar="FILE",
-            help="write the hierarchical span trace as JSON",
-        )
-        p.add_argument(
-            "--metrics-out", metavar="FILE", dest="metrics_out",
-            help="write the metrics registry (counters/gauges) as JSON",
-        )
-        p.add_argument(
-            "--profile-memory", action="store_true", dest="profile_memory",
-            help="track tracemalloc peak allocations per span "
-            "(slows the run; timings are not comparable)",
-        )
-        p.add_argument(
-            "--progress", action="store_true",
-            help="render throttled per-phase progress lines with ETA "
-            "on stderr while the run streams events",
-        )
-        p.add_argument(
-            "--run-log", metavar="FILE", dest="run_log",
-            help="append the structured event stream to FILE as "
-            "schema-tagged JSONL (replay with python -m repro.obs.tail)",
-        )
-        p.add_argument(
-            "--deadline", type=float, default=None, metavar="SECONDS",
-            help="cancel the run cooperatively after SECONDS "
-            "(checked at phase and shard boundaries)",
-        )
-        p.add_argument(
-            "--bundle", metavar="DIR",
-            help="capture the run into a forensics bundle directory "
-            "(manifest, run log, trace, metrics, perfdb record; "
-            "crash.json for failed/cancelled runs — inspect with "
-            "python -m repro.obs.doctor, compare with "
-            "python -m repro.obs.diff)",
-        )
+        _add_observability_flags(p)
 
     p = sub.add_parser("explore", help="find divergent subgroups in a CSV")
     add_explore_flags(p)

@@ -102,6 +102,22 @@ class ExploreConfig:
         results stay bit-identical, so — like the rest of the
         observability quartet — it is excluded from equality,
         :meth:`to_dict` and :meth:`fingerprint`.
+    profile_cpu:
+        Attach the sampling CPU profiler (``repro.obs.cpuprof``) to
+        the collector: a background thread polls stacks at
+        ``sample_hz`` while spans are open, spans gain
+        ``cpu_samples``/``cpu_self_seconds``/``cpu_top_functions``
+        attributes, and bundles capture a ``cpuprof.json`` stack
+        table. Forces a private enabled collector when ``obs`` is
+        :data:`~repro.obs.NULL_OBS` (like ``deadline_s``). Sampling
+        only observes, so — like the rest of the observability fields
+        — it is excluded from equality, :meth:`to_dict` and
+        :meth:`fingerprint`.
+    sample_hz:
+        Sampling rate for ``profile_cpu`` in stacks per second
+        (default 97 — prime, so the sampler cannot phase-lock with
+        periodic work). Ignored unless ``profile_cpu`` is set;
+        excluded from serialization alongside it.
     """
 
     min_support: float = 0.05
@@ -115,6 +131,8 @@ class ExploreConfig:
     profile_memory: bool = field(default=False, compare=False, repr=False)
     deadline_s: float | None = field(default=None, compare=False, repr=False)
     bundle_dir: str | None = field(default=None, compare=False, repr=False)
+    profile_cpu: bool = field(default=False, compare=False, repr=False)
+    sample_hz: float = field(default=97.0, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not 0.0 < self.min_support <= 1.0:
@@ -134,12 +152,16 @@ class ExploreConfig:
         if self.bundle_dir is not None:
             # Accept Path objects; store the canonical str form.
             object.__setattr__(self, "bundle_dir", os.fspath(self.bundle_dir))
+        if not self.sample_hz > 0:
+            raise ValueError("sample_hz must be positive")
         if (
-            self.deadline_s is not None or self.bundle_dir is not None
+            self.deadline_s is not None
+            or self.bundle_dir is not None
+            or self.profile_cpu
         ) and self.obs is NULL_OBS:
-            # Deadline checks and bundle capture flow through the
-            # collector, so an enabled one is required; a private
-            # instance keeps NULL_OBS itself inert.
+            # Deadline checks, bundle capture and CPU sampling flow
+            # through the collector, so an enabled one is required; a
+            # private instance keeps NULL_OBS itself inert.
             from repro.obs.collector import ObsCollector
 
             object.__setattr__(self, "obs", ObsCollector())
@@ -147,6 +169,8 @@ class ExploreConfig:
             # Profiling lives on the collector (NULL_OBS: no-op), so a
             # frozen config can switch it on without holding state.
             self.obs.enable_memory_profiling()
+        if self.profile_cpu:
+            self.obs.enable_cpu_profiling(self.sample_hz)
 
     def replace(self, **changes: object) -> "ExploreConfig":
         """A copy with the given fields changed (and re-validated)."""
@@ -156,8 +180,9 @@ class ExploreConfig:
         """The result-affecting fields as a plain dict.
 
         The ``obs`` collector, the ``profile_memory`` switch, the
-        ``deadline_s`` budget and the ``bundle_dir`` capture target
-        are excluded: none of them changes the results of a completed
+        ``deadline_s`` budget, the ``bundle_dir`` capture target and
+        the CPU-profiling pair (``profile_cpu``, ``sample_hz``) are
+        excluded: none of them changes the results of a completed
         run, so two configs that differ only in observability
         serialize (and fingerprint) identically. ``from_dict`` is the
         exact inverse.
@@ -166,7 +191,7 @@ class ExploreConfig:
             f.name: getattr(self, f.name)
             for f in dataclasses.fields(self)
             if f.name not in ("obs", "profile_memory", "deadline_s",
-                              "bundle_dir")
+                              "bundle_dir", "profile_cpu", "sample_hz")
         }
 
     @classmethod
@@ -178,6 +203,8 @@ class ExploreConfig:
         profile_memory: bool = False,
         deadline_s: float | None = None,
         bundle_dir: str | None = None,
+        profile_cpu: bool = False,
+        sample_hz: float = 97.0,
     ) -> "ExploreConfig":
         """The exact inverse of :meth:`to_dict`.
 
@@ -186,8 +213,8 @@ class ExploreConfig:
         a misspelled knob must not silently fall back to a default, or
         the round-tripped fingerprint would lie. The observability
         fields (``obs``, ``profile_memory``, ``deadline_s``,
-        ``bundle_dir``) are not part of the serialized form and are
-        supplied separately.
+        ``bundle_dir``, ``profile_cpu``, ``sample_hz``) are not part
+        of the serialized form and are supplied separately.
         """
         unknown = sorted(set(data) - _SERIALIZED_FIELDS)
         if unknown:
@@ -197,7 +224,8 @@ class ExploreConfig:
             )
         return cls(
             obs=obs, profile_memory=profile_memory, deadline_s=deadline_s,
-            bundle_dir=bundle_dir,
+            bundle_dir=bundle_dir, profile_cpu=profile_cpu,
+            sample_hz=sample_hz,
             **data,  # type: ignore[arg-type]
         )
 
@@ -230,9 +258,10 @@ class ExploreConfig:
 _FIELD_NAMES = frozenset(f.name for f in dataclasses.fields(ExploreConfig))
 
 #: The fields that appear in ``to_dict()`` / ``from_dict()`` — every
-#: result-affecting knob, excluding the observability quartet.
+#: result-affecting knob, excluding the observability fields.
 _SERIALIZED_FIELDS = frozenset(
-    _FIELD_NAMES - {"obs", "profile_memory", "deadline_s", "bundle_dir"}
+    _FIELD_NAMES - {"obs", "profile_memory", "deadline_s", "bundle_dir",
+                    "profile_cpu", "sample_hz"}
 )
 
 

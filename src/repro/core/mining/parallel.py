@@ -56,7 +56,8 @@ def _worker_env(pid: int) -> dict:
 
 
 def _mine_shard(task):
-    """Mine one prefix shard; returns ``(raw, counters | None, peaks | None)``.
+    """Mine one prefix shard; returns ``(raw, counters, peaks, cpu_rows)``
+    (the last three ``None`` when not collected).
 
     When the parent collects metrics, the shard mines against a private
     per-task collector and ships its counters back as a plain dict —
@@ -64,7 +65,11 @@ def _mine_shard(task):
     and makes the parent's merged totals equal the serial totals. With
     memory profiling on, mining additionally runs inside a
     ``mine.shard`` span so the worker's peak allocation comes back as a
-    peak-mem dict for the parent to max-merge (``merge_peaks``).
+    peak-mem dict for the parent to max-merge (``merge_peaks``). With
+    CPU profiling on (``cpu_hz`` set), the worker runs its own
+    ``repro.obs.cpuprof`` sampler around the same span and ships its
+    stack-table rows back for the parent to ``merge_cpu_samples`` —
+    the sanctioned result channel, no shared profiler state.
 
     With ``emit`` set (the parent streams live events), the worker
     additionally puts a heartbeat message on the shared queue when the
@@ -79,7 +84,8 @@ def _mine_shard(task):
     parent's event-stream origin.
     """
     global _WORKER_ENV_TOKEN
-    root, tail, min_support, max_length, collect, profile, emit, token = task
+    (root, tail, min_support, max_length, collect, profile, cpu_hz,
+     emit, token) = task
     engine = _WORKER_ENGINE
     queue = _WORKER_EVENTS if emit else None
     pid = os.getpid()
@@ -93,22 +99,30 @@ def _mine_shard(task):
         raw = engine.mine_subtree(root, tail, min_support, max_length)
         if queue is not None:
             queue.put(("done", token, pid, t0, time.perf_counter(), root))
-        return raw, None, None
+        return raw, None, None, None
     shard_obs = ObsCollector(profile_memory=profile)
+    if cpu_hz:
+        shard_obs.enable_cpu_profiling(cpu_hz)
     prev = engine.obs
     engine.obs = shard_obs
+    cpu_rows = None
     try:
-        if profile:
+        if profile or cpu_hz:
+            # The span scopes both profilers: the mem window and the
+            # sampler lifetime (started at root open, joined at close).
             with shard_obs.span("mine.shard", root=root):
                 raw = engine.mine_subtree(root, tail, min_support, max_length)
         else:
             raw = engine.mine_subtree(root, tail, min_support, max_length)
+        if cpu_hz and shard_obs.cpu is not None:
+            cpu_rows = shard_obs.cpu.rows()
     finally:
         engine.obs = prev
         shard_obs.stop_memory_profiling()
+        shard_obs.stop_cpu_profiling()
     if queue is not None:
         queue.put(("done", token, pid, t0, time.perf_counter(), root))
-    return raw, dict(shard_obs.counters), dict(shard_obs.mem_peaks)
+    return raw, dict(shard_obs.counters), dict(shard_obs.mem_peaks), cpu_rows
 
 
 def resolve_n_jobs(n_jobs: int | None) -> int:
@@ -222,7 +236,10 @@ def mine_parallel(
     returns its private counter dict for the parent to merge, so the
     merged ``mining.*`` totals are identical to a serial run. With
     memory profiling on, workers also return per-shard peak-allocation
-    dicts, max-merged into the parent's ``mem_peaks`` registry.
+    dicts, max-merged into the parent's ``mem_peaks`` registry. With
+    CPU profiling on, each worker samples its own shard under a
+    ``mine.shard`` span and its stack table is add-merged into the
+    parent's profiler (order-independent).
 
     A :class:`WorkerPool` passed via ``pool`` serves the shards from
     its long-lived workers instead of spawning a fresh pool; its
@@ -253,6 +270,8 @@ def mine_parallel(
         obs.gauge("mining.shards", len(shards))
     collect = obs.enabled
     profile = collect and obs.profile_memory
+    cpu = getattr(obs, "cpu", None)
+    cpu_hz = cpu.sample_hz if (collect and cpu is not None) else None
     stream = getattr(obs, "events", None)
     streaming = stream is not None or getattr(obs, "controller", None) is not None
     # The token ties queue messages to this run: a cancelled run on a
@@ -260,7 +279,7 @@ def mine_parallel(
     # messages must not leak into the next run's event stream.
     token = (os.getpid(), time.perf_counter_ns()) if streaming else None
     tasks = [
-        (root, tail, min_support, max_length, collect, profile,
+        (root, tail, min_support, max_length, collect, profile, cpu_hz,
          streaming, token)
         for root, tail in shards
     ]
@@ -297,12 +316,14 @@ def mine_parallel(
             if queue is not None:
                 queue.close()
     results: list[MinedItemset] = []
-    for raw, counters, peaks in per_shard:
+    for raw, counters, peaks, cpu_rows in per_shard:
         results.extend(raw_to_mined(raw))
         if counters:
             obs.merge_counters(counters)
         if peaks:
             obs.merge_peaks(peaks)
+        if cpu_rows:
+            obs.merge_cpu_samples(cpu_rows)
     return results
 
 

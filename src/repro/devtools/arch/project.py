@@ -97,9 +97,11 @@ class Project:
             return self.resolve(target_mod, target_name, seen)
         if f"{module}.{name}" in self.modules:
             return (f"{module}.{name}", "")
-        hint = self.spec.lazy_exports.get(module)
-        if hint is not None and info.defines_getattr:
-            return self.resolve(hint, name, seen)
+        if info.defines_getattr:
+            for hint in self.spec.lazy_exports.get(module, ()):
+                resolved = self.resolve(hint, name, seen)
+                if resolved is not None:
+                    return resolved
         return None
 
 

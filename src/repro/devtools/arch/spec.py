@@ -77,7 +77,7 @@ class ArchSpec:
 
     current_pr: int = 0
     layers: dict[str, tuple[str, ...]] = field(default_factory=dict)
-    lazy_exports: dict[str, str] = field(default_factory=dict)
+    lazy_exports: dict[str, tuple[str, ...]] = field(default_factory=dict)
     deprecations: tuple[DeprecationEntry, ...] = ()
     exemptions: dict[str, dict[str, str]] = field(default_factory=dict)
 
@@ -111,11 +111,19 @@ class ArchSpec:
                 )
             layers[name] = tuple(allowed)
 
-        lazy = data.get("lazy-exports", {})
-        for source, target in lazy.items():
-            if not isinstance(target, str):
+        lazy_raw = data.get("lazy-exports", {})
+        lazy = {}
+        for source, target in lazy_raw.items():
+            if isinstance(target, str):
+                lazy[source] = (target,)
+            elif isinstance(target, list) and target and all(
+                isinstance(t, str) for t in target
+            ):
+                lazy[source] = tuple(target)
+            else:
                 raise ValueError(
-                    f"[lazy-exports] {source!r} must map to a module name"
+                    f"[lazy-exports] {source!r} must map to a module name "
+                    f"or a non-empty list of module names"
                 )
 
         deprecations = []

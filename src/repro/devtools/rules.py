@@ -1,4 +1,4 @@
-"""The reprolint rule catalogue (RPL001–RPL018).
+"""The reprolint rule catalogue (RPL001–RPL019).
 
 Each rule encodes one invariant the reproduction depends on —
 determinism across backends and ``n_jobs``, independence from the
@@ -61,6 +61,7 @@ PRINT_ALLOWED_MODULES = (
     "src/repro/devtools/arch/cli.py",
     "src/repro/devtools/lint.py",
     "src/repro/experiments/paper.py",
+    "src/repro/obs/cpuprof.py",
     "src/repro/obs/diff.py",
     "src/repro/obs/doctor.py",
     "src/repro/obs/perfdb.py",
@@ -113,6 +114,23 @@ CRASH_HOOK_OWNER = "src/repro/obs/bundle.py"
 
 #: ``faulthandler`` functions that install process-global handlers.
 FAULTHANDLER_INSTALL_FUNCS = {"enable", "register"}
+
+#: The single sanctioned owner of in-process profiling (RPL019):
+#: ``repro.obs.cpuprof`` samples ``sys._current_frames()`` from a
+#: background thread, attributing stacks to the open obs span.
+CPUPROF_OWNER = "src/repro/obs/cpuprof.py"
+
+#: Interpreter profiling/tracing entry points banned outside the
+#: cpuprof owner. The trace hooks slow every bytecode and clobber
+#: debuggers/coverage; a second ``_current_frames`` reader would
+#: bypass the span-attribution registry.
+PROFILER_HOOK_CALLS = {
+    "sys.setprofile",
+    "sys.settrace",
+    "threading.setprofile",
+    "threading.settrace",
+    "sys._current_frames",
+}
 
 
 def dotted_name(node: ast.AST) -> str | None:
@@ -779,3 +797,41 @@ class CrashHookRule(Rule):
                         f"handler belongs to the active run bundle "
                         f"(fault.log) — wrap the run in RunBundle instead"
                     )
+
+
+@register
+class ProfilerHookRule(Rule):
+    code = "RPL019"
+    name = "profiler-hook-outside-cpuprof"
+    severity = Severity.ERROR
+    rationale = (
+        "In-process profiling has exactly one owner: "
+        "repro.obs.cpuprof's sampling profiler, which reads "
+        "sys._current_frames() from its own thread and never touches "
+        "the interpreter's tracing slots. sys.setprofile/sys.settrace "
+        "(and their threading.* spellings) install per-bytecode "
+        "callbacks that slow every frame, fight with debuggers and "
+        "coverage, and leak process-global state across runs; a second "
+        "_current_frames() reader would duplicate attribution logic "
+        "the span registry already centralizes. Route profiling "
+        "through ObsCollector.enable_cpu_profiling() instead."
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return _in_library(path) and path != CPUPROF_OWNER
+
+    def check(self, ctx: ModuleContext) -> Iterator[tuple[ast.AST, str]]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if name in PROFILER_HOOK_CALLS:
+                yield node, (
+                    f"{name}() outside repro.obs.cpuprof: in-process "
+                    f"profiling has one owner — use "
+                    f"ObsCollector.enable_cpu_profiling() (sampling, "
+                    f"span-attributed) instead of interpreter trace "
+                    f"hooks"
+                )

@@ -70,8 +70,9 @@ from repro.obs.report import (
     write_trace,
 )
 
-# perfdb symbols resolve lazily (PEP 562) so that `python -m
-# repro.obs.perfdb` does not import the module twice via the package.
+# perfdb and cpuprof symbols resolve lazily (PEP 562) so that
+# `python -m repro.obs.perfdb` / `python -m repro.obs.cpuprof` do not
+# import those modules twice via the package.
 _PERFDB_EXPORTS = frozenset({
     "PERFDB_SCHEMA",
     "Comparison",
@@ -86,12 +87,28 @@ _PERFDB_EXPORTS = frozenset({
     "validate_record",
 })
 
+_CPUPROF_EXPORTS = frozenset({
+    "CPUPROF_SCHEMA",
+    "CpuProfiler",
+    "cpuprof_payload",
+    "function_seconds",
+    "load_cpuprof",
+    "to_folded",
+    "to_speedscope",
+    "validate_cpuprof_payload",
+    "write_cpuprof",
+})
+
 
 def __getattr__(name: str):
     if name in _PERFDB_EXPORTS:
         from repro.obs import perfdb
 
         return getattr(perfdb, name)
+    if name in _CPUPROF_EXPORTS:
+        from repro.obs import cpuprof
+
+        return getattr(cpuprof, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -99,6 +116,7 @@ __all__ = [
     "BENCH_SCHEMA",
     "BENCH_SCHEMA_V1",
     "BUNDLE_SCHEMA",
+    "CPUPROF_SCHEMA",
     "EVENTS_SCHEMA",
     "METRICS_SCHEMA",
     "NULL_OBS",
@@ -107,6 +125,7 @@ __all__ = [
     "AnyCollector",
     "Bundle",
     "Comparison",
+    "CpuProfiler",
     "Event",
     "EventStream",
     "GatePolicy",
@@ -127,8 +146,11 @@ __all__ = [
     "cache_hit_rate",
     "compare_payload",
     "config_fingerprint",
+    "cpuprof_payload",
     "event_counts",
+    "function_seconds",
     "load_bundle",
+    "load_cpuprof",
     "load_history",
     "max_rss_kb",
     "metrics_payload",
@@ -140,15 +162,19 @@ __all__ = [
     "report_payload",
     "resolve_obs",
     "to_chrome_trace",
+    "to_folded",
+    "to_speedscope",
     "trace_payload",
     "trim_spans",
     "validate_bench_payload",
     "validate_bundle",
+    "validate_cpuprof_payload",
     "validate_record",
     "validate_run_log",
     "worker_event_queue",
     "write_bench_json",
     "write_chrome_trace",
+    "write_cpuprof",
     "write_metrics",
     "write_trace",
 ]

@@ -13,6 +13,9 @@ machine, after the process is gone:
   trace.json      the completed span forest (repro.obs/trace@1)
   metrics.json    counters + gauges (repro.obs/metrics@1)
   perfdb.json     a repro.obs/perfdb@1 history record, ready to append
+  cpuprof.json    only for --profile-cpu runs: the sampled stack table
+                  (repro.obs/cpuprof@1; export flamegraphs with
+                  python -m repro.obs.cpuprof)
   crash.json      only for failed/cancelled runs: exception provenance
                   (or the RunCancelled reason/where) plus the last-N
                   events before death
@@ -342,6 +345,16 @@ class RunBundle:
 
         files: dict[str, dict[str, Any]] = {}
         names = dict(BUNDLE_FILES)
+        if self.obs.profile_cpu:
+            # Snapshot the sampled stack table next to the trace. The
+            # root spans closed before the scope exits, so the sampler
+            # is already joined and the table is final. (Lazy import:
+            # cpuprof resolves through the package's PEP 562 hook so
+            # `python -m repro.obs.cpuprof` imports it exactly once.)
+            from repro.obs.cpuprof import CPUPROF_FILENAME, write_cpuprof
+
+            write_cpuprof(self.obs.cpu, self.directory / CPUPROF_FILENAME)
+            names["cpuprof"] = CPUPROF_FILENAME
         if self.crash is not None:
             names["crash"] = CRASH_FILENAME
         for key in sorted(names):
@@ -440,6 +453,7 @@ class Bundle:
     metrics: dict[str, Any]
     perfdb: dict[str, Any] | None
     crash: dict[str, Any] | None
+    cpuprof: dict[str, Any] | None = None
 
     @property
     def name(self) -> str:
@@ -490,6 +504,8 @@ def load_bundle(directory: str | Path) -> Bundle:
             return None
         return json.loads(path.read_text(encoding="utf-8"))
 
+    from repro.obs.cpuprof import CPUPROF_FILENAME
+
     log_path = directory / BUNDLE_FILES["run_log"]
     records = read_run_log(log_path) if log_path.exists() else []
     return Bundle(
@@ -500,6 +516,7 @@ def load_bundle(directory: str | Path) -> Bundle:
         metrics=read_optional(BUNDLE_FILES["metrics"]) or {},
         perfdb=read_optional(BUNDLE_FILES["perfdb"]),
         crash=read_optional(CRASH_FILENAME),
+        cpuprof=read_optional(CPUPROF_FILENAME),
     )
 
 
@@ -572,6 +589,14 @@ def validate_bundle(directory: str | Path) -> list[str]:
 
         record = json.loads(perfdb_path.read_text(encoding="utf-8"))
         problems.extend(f"perfdb: {e}" for e in validate_record(record))
+    from repro.obs.cpuprof import CPUPROF_FILENAME, validate_cpuprof_payload
+
+    cpuprof_path = directory / CPUPROF_FILENAME
+    if cpuprof_path.is_file():
+        payload = json.loads(cpuprof_path.read_text(encoding="utf-8"))
+        problems.extend(
+            f"cpuprof: {e}" for e in validate_cpuprof_payload(payload)
+        )
 
     crash_path = directory / CRASH_FILENAME
     if status == "ok" and crash_path.exists():

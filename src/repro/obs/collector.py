@@ -20,8 +20,9 @@ parent to merge) and keeps results independent of ambient state.
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Any, Iterator, Mapping
+from typing import Any, Iterable, Iterator, Mapping
 
 from repro.obs.events import (
     EventStream,
@@ -155,6 +156,8 @@ class ObsCollector:
         profile_memory: bool = False,
         events: Any = None,
         controller: RunController | None = None,
+        profile_cpu: bool = False,
+        sample_hz: float | None = None,
     ) -> None:
         self.counters: dict[str, int] = {}
         self.gauges: dict[str, float] = {}
@@ -165,8 +168,16 @@ class ObsCollector:
         self._stack: list[Span] = []
         self._progress: dict[str, list[int | None]] = {}
         self._mem = None
+        self._cpu = None
+        #: Thread-local current-span registry: thread id -> dotted path
+        #: of that thread's innermost open span. Maintained only while
+        #: CPU profiling is on; the sampler thread reads it to attribute
+        #: stacks (dict reads/writes are atomic under the GIL).
+        self._span_paths: dict[int, str] = {}
         if profile_memory:
             self.enable_memory_profiling()
+        if profile_cpu:
+            self.enable_cpu_profiling(sample_hz)
 
     # -- memory profiling ------------------------------------------------
 
@@ -215,6 +226,57 @@ class ObsCollector:
         for name, value in peaks.items():
             self.record_peak(name, value)
 
+    # -- cpu profiling ---------------------------------------------------
+
+    @property
+    def profile_cpu(self) -> bool:
+        """True when a sampling CPU profiler is attached (repro.obs.cpuprof)."""
+        return self._cpu is not None
+
+    @property
+    def cpu(self):
+        """The attached :class:`~repro.obs.cpuprof.CpuProfiler`, or None."""
+        return self._cpu
+
+    def enable_cpu_profiling(self, sample_hz: float | None = None) -> None:
+        """Attach a sampling CPU profiler (idempotent; keeps the first).
+
+        The sampler thread itself only runs while a root span is open:
+        ``_push`` starts it with the first root, ``_pop`` joins it when
+        the root closes (including on exceptions — span ``__exit__``
+        always runs), so the thread never leaks across runs or sweep
+        points. Sampling is observation-only and never affects results.
+        """
+        if self._cpu is None:
+            from repro.obs.cpuprof import DEFAULT_SAMPLE_HZ, CpuProfiler
+
+            self._cpu = CpuProfiler(
+                sample_hz=DEFAULT_SAMPLE_HZ if sample_hz is None else sample_hz
+            )
+
+    def stop_cpu_profiling(self) -> None:
+        """Join the sampler thread if running and detach the profiler.
+
+        The accumulated stack table stays reachable only through a
+        reference taken before detaching; bundles snapshot the table at
+        finalize time, before anyone calls this.
+        """
+        if self._cpu is not None:
+            self._cpu.stop()
+            self._cpu = None
+
+    def merge_cpu_samples(
+        self, rows: "Iterable[tuple[str, Iterable[str], int]]"
+    ) -> None:
+        """Fold a worker shard's stack-table rows into this profiler.
+
+        The cpuprof counterpart of :meth:`merge_counters` on the
+        sanctioned worker result channel; merging is plain addition,
+        hence order-independent. A no-op without an attached profiler.
+        """
+        if self._cpu is not None:
+            self._cpu.merge(rows)
+
     # -- spans -----------------------------------------------------------
 
     def span(self, name: str, **attrs: Any) -> Span:
@@ -233,6 +295,15 @@ class ObsCollector:
             span._mem_child_peak = 0
             self._mem.reset_peak()
         self._stack.append(span)
+        if self._cpu is not None:
+            # Point this thread's registry entry at the new innermost
+            # span, then make sure the sampler runs while a root span
+            # is open (one start per root; _pop joins at root close).
+            self._span_paths[threading.get_ident()] = ".".join(
+                s.name for s in self._stack
+            )
+            if len(self._stack) == 1:
+                self._cpu.start(self._span_paths)
         if self.events is not None:
             self.events.emit("span_open", span.name, attrs=dict(span.attrs))
 
@@ -245,6 +316,17 @@ class ObsCollector:
                 break
         if self._mem is not None:
             self._close_mem(span)
+        if self._cpu is not None:
+            if self._stack:
+                self._span_paths[threading.get_ident()] = ".".join(
+                    s.name for s in self._stack
+                )
+            else:
+                # Root closed: join the sampler (exception-safe — span
+                # __exit__ runs on raise too) and annotate the tree.
+                self._span_paths.pop(threading.get_ident(), None)
+                self._cpu.stop()
+                self._cpu.annotate(span)
         if self._stack:
             self._stack[-1].children.append(span)
         else:
@@ -430,6 +512,8 @@ class NullCollector:
 
     enabled: bool = False
     profile_memory: bool = False
+    profile_cpu: bool = False
+    cpu: None = None
     mem_peaks: Mapping[str, int] = {}
     events: None = None
     controller: None = None
@@ -456,6 +540,17 @@ class NullCollector:
         return None
 
     def stop_memory_profiling(self) -> None:
+        return None
+
+    def enable_cpu_profiling(self, sample_hz: float | None = None) -> None:
+        return None
+
+    def stop_cpu_profiling(self) -> None:
+        return None
+
+    def merge_cpu_samples(
+        self, rows: "Iterable[tuple[str, Iterable[str], int]]"
+    ) -> None:
         return None
 
     def record_peak(self, name: str, peak_bytes: int) -> None:

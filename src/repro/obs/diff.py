@@ -38,6 +38,7 @@ from repro.obs.bundle import (
     load_bundle,
     trace_phase_seconds,
 )
+from repro.obs.cpuprof import function_seconds
 from repro.obs.events import EVENTS_SCHEMA
 from repro.obs.perfdb import PERFDB_SCHEMA, GatePolicy
 from repro.obs.runlog import read_run_log
@@ -56,6 +57,13 @@ IMBALANCE_GROWTH_THRESHOLD = 1.25
 #: Mem-peak changes need both a relative and an absolute floor (1 MiB),
 #: mirroring the wall-clock policy shape.
 MEM_ABS_THRESHOLD_BYTES = 1 << 20
+
+#: Function self-time growth (seconds) worth naming in an attribution
+#: when both runs carry sampled cpuprof tables.
+FUNCTION_SELF_THRESHOLD_SECONDS = 0.02
+
+#: How many regressed functions an attribution entry names.
+FUNCTION_SUSPECTS = 3
 
 #: Counter-name prefixes consulted when attributing a phase regression,
 #: keyed by span-path segment.
@@ -79,6 +87,9 @@ class RunProfile:
     gauges: Mapping[str, float]
     mem_peaks: Mapping[str, int]
     worker_seconds: Mapping[int, float]
+    #: The run's ``repro.obs/cpuprof@1`` payload, when the artifact was
+    #: captured (bundles only); enables function-level attribution.
+    cpu: Mapping[str, Any] | None = None
 
     def hit_rate(self, family: str = "cover_cache") -> float | None:
         """Cache hit rate from ``<family>.hits``/``.misses`` counters."""
@@ -160,6 +171,7 @@ def _profile_from_bundle(directory: Path, label: str) -> RunProfile:
         gauges=bundle.gauges,
         mem_peaks=bundle.mem_peaks,
         worker_seconds=workers,
+        cpu=bundle.cpuprof,
     )
 
 
@@ -334,6 +346,65 @@ def _format_count(value: Any) -> str:
     return "—" if value is None else f"{value}"
 
 
+def _function_rows(a: RunProfile, b: RunProfile) -> list[dict[str, Any]]:
+    """Per-function self-time deltas when both runs carry cpu tables."""
+    if not a.cpu or not b.cpu:
+        return []
+    fa, fb = function_seconds(a.cpu), function_seconds(b.cpu)
+    rows = []
+    for name in sorted(set(fa) | set(fb)):
+        base, cur = fa.get(name), fb.get(name)
+        delta = (cur or 0.0) - (base or 0.0)
+        if abs(delta) < FUNCTION_SELF_THRESHOLD_SECONDS:
+            continue
+        rows.append({
+            "function": name,
+            "a_seconds": base,
+            "b_seconds": cur,
+            "delta_seconds": delta,
+            "ratio": _ratio(base, cur),
+        })
+    rows.sort(key=lambda r: (-abs(r["delta_seconds"]), r["function"]))
+    return rows
+
+
+def _function_suspects(
+    a: RunProfile, b: RunProfile, path: str
+) -> list[str]:
+    """Name the functions whose sampled self time grew under ``path``.
+
+    Uses span-scoped sums when the cpu tables hold samples for the
+    regressed path (or its dotted descendants); falls back to run-wide
+    sums otherwise — worker-side samples live under their own
+    ``mine.shard`` paths, which do not nest under the parent's span
+    tree.
+    """
+    if not a.cpu or not b.cpu:
+        return []
+    fa = function_seconds(a.cpu, span_prefix=path)
+    fb = function_seconds(b.cpu, span_prefix=path)
+    scope = ""
+    if not fa and not fb:
+        fa, fb = function_seconds(a.cpu), function_seconds(b.cpu)
+        scope = ", run-wide"
+    growth = []
+    for name in set(fa) | set(fb):
+        delta = fb.get(name, 0.0) - fa.get(name, 0.0)
+        if delta >= FUNCTION_SELF_THRESHOLD_SECONDS:
+            growth.append((delta, name))
+    growth.sort(key=lambda g: (-g[0], g[1]))
+    out = []
+    for delta, name in growth[:FUNCTION_SUSPECTS]:
+        base = fa.get(name)
+        shift = (
+            f"{fb.get(name, 0.0) / base:.1f}x" if base else "new"
+        )
+        out.append(
+            f"function {name}: self +{delta:.3f}s ({shift}{scope})"
+        )
+    return out
+
+
 def _counter_suspects(
     path: str, counter_rows: list[dict[str, Any]]
 ) -> list[str]:
@@ -378,7 +449,8 @@ def _attribution(
     out = []
     for row in regressed:
         path = row["path"]
-        suspects = _counter_suspects(path, counter_rows)
+        suspects = _function_suspects(a, b, path)
+        suspects.extend(_counter_suspects(path, counter_rows))
         mine_like = any(seg in ("mine", "explore") for seg in path.split("."))
         if (
             mine_like
@@ -435,6 +507,7 @@ def diff_payload(
         "phases": phase_rows,
         "counters": counter_rows,
         "mem_peaks": _mem_rows(a, b, policy),
+        "cpu_functions": _function_rows(a, b),
         "derived": {
             "cache_hit_rate": {"a": a.hit_rate(), "b": b.hit_rate()},
             "worker_imbalance": {"a": a.imbalance(), "b": b.imbalance()},
@@ -480,6 +553,16 @@ def render_diff_text(payload: Mapping[str, Any]) -> str:
                 f"    {row['path']:<30s} "
                 f"{_format_count(row['a_bytes']):>12s} -> "
                 f"{_format_count(row['b_bytes']):>12s} B  {row['status']}"
+            )
+    if payload.get("cpu_functions"):
+        lines.append("  cpu functions (sampled self time):")
+        for row in payload["cpu_functions"][:10]:
+            ratio = (
+                f"{row['ratio']:.2f}x" if row["ratio"] is not None else "new"
+            )
+            lines.append(
+                f"    {row['function']:<48s} "
+                f"{row['delta_seconds']:+.3f}s  {ratio}"
             )
     if payload["attribution"]:
         lines.append("  attribution:")

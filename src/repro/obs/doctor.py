@@ -13,7 +13,9 @@ and a :class:`DoctorPolicy` of tunable floors and yields
 :class:`Finding` objects. Built-in checks cover: crash/cancellation
 status, dropped events (rolled in-memory window), run-log seq gaps,
 cover-cache hit-rate floors, shard skew across workers, traced-peak vs
-RSS divergence, and deadline near-misses.
+RSS divergence, deadline near-misses, and sampled-CPU vs wall-time
+divergence (sampler starvation / GIL skew) when the bundle carries a
+``cpuprof.json`` table.
 """
 
 from __future__ import annotations
@@ -71,6 +73,13 @@ class DoctorPolicy:
     #: Fraction of the deadline a successful run may consume before a
     #: near-miss warning.
     deadline_margin: float = 0.9
+    #: Sampled self-time may diverge from span wall-time by this
+    #: fraction before the cpu-divergence check fires (sampler
+    #: starvation or GIL skew).
+    cpu_divergence_ratio: float = 0.3
+    #: Spans shorter than this (seconds) are too noisy for the
+    #: cpu-divergence check at default sampling rates.
+    cpu_divergence_min_wall_s: float = 0.2
 
 
 CheckFn = Callable[[Bundle, DoctorPolicy], Iterator[Finding]]
@@ -282,6 +291,49 @@ def _check_deadline(
             "the next run may not make it",
             {"deadline_s": deadline, "elapsed_seconds": elapsed},
         )
+
+
+@health_check("cpu-divergence")
+def _check_cpu_divergence(
+    bundle: Bundle, policy: DoctorPolicy
+) -> Iterator[Finding]:
+    """Sampled self-time far from span wall-time = sampler starvation.
+
+    For single-threaded runs the samples attributed to a span (and its
+    dotted descendants) should roughly cover the span's wall-clock
+    duration. A large shortfall means the sampler thread was starved
+    (GIL held by C extensions) or the span mostly waited; a large
+    excess would mean broken attribution. Parallel runs are skipped:
+    the parent thread legitimately idles while draining worker queues,
+    and worker samples live under their own ``mine.shard`` paths.
+    """
+    cpu = bundle.cpuprof
+    if not cpu or bundle.manifest.get("workers"):
+        return
+    spans = cpu.get("spans") or {}
+    for path, wall in sorted(bundle.phase_seconds().items()):
+        if wall < policy.cpu_divergence_min_wall_s:
+            continue
+        sampled = sum(
+            row.get("self_seconds", 0.0)
+            for span_path, row in spans.items()
+            if span_path == path or span_path.startswith(path + ".")
+        )
+        divergence = abs(sampled - wall) / wall
+        if divergence > policy.cpu_divergence_ratio:
+            yield Finding(
+                "cpu-divergence", "warning",
+                f"span {path}: sampled self-time {sampled:.3f}s diverges "
+                f"{divergence:.0%} from wall-time {wall:.3f}s "
+                f"(threshold {policy.cpu_divergence_ratio:.0%}) — "
+                "sampler starvation, GIL skew, or a mostly-waiting span",
+                {
+                    "path": path,
+                    "sampled_seconds": sampled,
+                    "wall_seconds": wall,
+                    "divergence": divergence,
+                },
+            )
 
 
 # -- report ----------------------------------------------------------------

@@ -6,6 +6,11 @@ lines, one per event, and closes with the deterministic
 file is polled for new lines as a live run appends them (Ctrl-C to
 stop), which makes the viewer usable both post-mortem and while an
 exploration is still streaming.
+
+Records whose ``kind`` is unknown to this build (a run log written by
+a newer schema revision) are skipped with a single summary warning on
+stderr rather than failing the replay — old viewers stay usable on
+new logs.
 """
 
 from __future__ import annotations
@@ -17,7 +22,9 @@ import time
 from pathlib import Path
 from typing import Any
 
-from repro.obs.events import EVENTS_SCHEMA, event_counts
+from collections import Counter
+
+from repro.obs.events import EVENT_KINDS, EVENTS_SCHEMA, event_counts
 from repro.obs.runlog import validate_run_log
 
 
@@ -87,6 +94,7 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     records: list[dict[str, Any]] = []
+    unknown_kinds: Counter[str] = Counter()
     try:
         for line in _iter_lines(args.path, args.follow, args.interval):
             line = line.strip()
@@ -97,11 +105,25 @@ def main(argv: list[str] | None = None) -> int:
             except json.JSONDecodeError:
                 print(f"! unparseable line: {line[:80]}", file=sys.stderr)
                 continue
+            kind = record.get("kind")
+            if kind not in EVENT_KINDS and kind != "header":
+                # A newer writer's event kind: skip it (warn once at
+                # the end) instead of failing the whole replay.
+                unknown_kinds[str(kind)] += 1
+                continue
             records.append(record)
             print(format_record(record))
     except KeyboardInterrupt:
         pass
 
+    if unknown_kinds:
+        skipped = sum(unknown_kinds.values())
+        kinds = ", ".join(sorted(unknown_kinds))
+        print(
+            f"! skipped {skipped} event(s) of unknown kind(s) [{kinds}] "
+            "— written by a newer run-log schema?",
+            file=sys.stderr,
+        )
     errors = validate_run_log(records)
     counts = event_counts(records[1:]) if records else {}
     if counts:

@@ -200,6 +200,30 @@ class TestExports:
         }, spec=spec)
         assert "RPA004" not in codes(run_arch(root))
 
+    def test_lazy_export_hint_list_tries_each_module(self, tmp_path):
+        spec = BASE_SPEC + textwrap.dedent("""
+            [lazy-exports]
+            "repro.core" = ["repro.core.impl_a", "repro.core.impl_b"]
+        """)
+        root = make_repo(tmp_path, {
+            "src/repro/core/__init__.py": (
+                '__all__ = ["thing_a", "thing_b"]\n'
+                "def __getattr__(name):\n"
+                "    from repro.core import impl_a, impl_b\n"
+                "    for mod in (impl_a, impl_b):\n"
+                "        if hasattr(mod, name):\n"
+                "            return getattr(mod, name)\n"
+                "    raise AttributeError(name)\n"
+            ),
+            "src/repro/core/impl_a.py": "def thing_a():\n    return 1\n",
+            "src/repro/core/impl_b.py": "def thing_b():\n    return 2\n",
+            "tests/test_lazy.py": (
+                "from repro.core import thing_a, thing_b\n"
+                "def test_it():\n    assert thing_a() + thing_b() == 3\n"
+            ),
+        }, spec=spec)
+        assert "RPA004" not in codes(run_arch(root))
+
 
 class TestApiLock:
     FILES = {

@@ -266,6 +266,45 @@ class TestTail:
         assert tail_main([str(tmp_path / "absent.jsonl")]) == 2
 
 
+class TestTailUnknownKinds:
+    """Forward compatibility: logs from newer schemas replay cleanly."""
+
+    def write_newer_log(self, tmp_path):
+        path = TestJsonlRunLog().write_log(tmp_path)
+        with path.open("a") as fh:
+            for seq, kind in enumerate(
+                ("gpu_span", "gpu_span", "qps_gauge"), start=900
+            ):
+                fh.write(json.dumps({
+                    "kind": kind, "name": "k", "t": 9.0, "seq": seq,
+                    "worker": 0, "attrs": {},
+                }) + "\n")
+        return path
+
+    def test_unknown_kinds_are_skipped_not_fatal(self, tmp_path, capsys):
+        path = self.write_newer_log(tmp_path)
+        assert tail_main([str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "gpu_span" not in captured.out
+        assert "invalid:" not in captured.err
+
+    def test_single_warning_names_kinds_and_count(self, tmp_path, capsys):
+        path = self.write_newer_log(tmp_path)
+        tail_main([str(path)])
+        warnings = [
+            line for line in capsys.readouterr().err.splitlines()
+            if "unknown kind" in line
+        ]
+        assert len(warnings) == 1
+        assert "skipped 3 event(s)" in warnings[0]
+        assert "gpu_span" in warnings[0] and "qps_gauge" in warnings[0]
+
+    def test_known_kinds_only_emits_no_warning(self, tmp_path, capsys):
+        path = TestJsonlRunLog().write_log(tmp_path)
+        assert tail_main([str(path)]) == 0
+        assert "unknown kind" not in capsys.readouterr().err
+
+
 class TestTailFollow:
     def test_follow_yields_lines_appended_by_writer(self, tmp_path):
         path = tmp_path / "live.jsonl"

@@ -691,3 +691,53 @@ class TestCrashHook:
         assert codes(src, path="src/repro/obs/bundle.py") == []
         assert codes(src, path="tests/test_x.py") == []
         assert codes(src) == ["RPL018"]
+
+
+class TestProfilerHook:
+    def test_flags_trace_hooks_and_frame_reader(self):
+        src = """\
+        import sys
+        import threading
+
+        def hook(frame, event, arg):
+            return None
+
+        def profile_everything():
+            sys.setprofile(hook)
+            sys.settrace(hook)
+            threading.setprofile(hook)
+            threading.settrace(hook)
+            return sys._current_frames()
+        """
+        assert codes(src) == ["RPL019"] * 5
+
+    def test_other_sys_and_threading_calls_stay_silent(self):
+        src = """\
+        import sys
+        import threading
+
+        def fine():
+            sys.setrecursionlimit(10_000)
+            sys.settrace  # attribute access, not a call
+            return threading.get_ident()
+        """
+        assert codes(src) == []
+
+    def test_cpuprof_owner_and_tests_are_exempt(self):
+        src = """\
+        import sys
+
+        def sample():
+            return sys._current_frames()
+        """
+        assert codes(src, path="src/repro/obs/cpuprof.py") == []
+        assert codes(src, path="tests/test_x.py") == []
+        assert codes(src) == ["RPL019"]
+
+    def test_pragma_suppresses(self):
+        src = (
+            "import sys\n"
+            "frames = sys._current_frames()"
+            "  # reprolint: disable=RPL019\n"
+        )
+        assert codes(src) == []
